@@ -1,0 +1,428 @@
+//! Acoustic delay-and-sum beamforming — the Chapter 5 on-chip diversity
+//! workload.
+//!
+//! The paper cites a 3-D ultrasound beamforming experiment as the traffic
+//! source for comparing flat, hierarchical and bus-connected NoC
+//! architectures. As documented in DESIGN.md, the original application is
+//! substituted by a from-scratch delay-and-sum beamformer over synthetic
+//! microphone-array data: `M` sensor IPs each stream sample blocks to a
+//! beamformer IP, which aligns them with per-sensor integer delays and
+//! sums. The communication pattern — many-to-one streaming across the
+//! fabric — is what the architecture comparison measures.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use noc_fabric::{IpContext, IpCore, NodeId, Topology};
+use noc_faults::FaultModel;
+use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
+
+use crate::wire::{put_f64_slice, put_u32, PayloadReader};
+
+const TAG_BLOCK: u8 = 31;
+
+/// Samples per streamed block.
+pub const BLOCK_SAMPLES: usize = 32;
+
+/// Parameters of a beamforming run (topology-agnostic: the caller picks
+/// the fabric and placement, which is the point of the Chapter 5 study).
+#[derive(Debug, Clone)]
+pub struct BeamformingParams {
+    /// Number of blocks each sensor streams.
+    pub blocks: u32,
+    /// Rounds between blocks from each sensor.
+    pub block_interval: u64,
+    /// Per-sensor alignment delays in samples (length = sensor count).
+    pub delays: Vec<usize>,
+    /// Protocol configuration.
+    pub config: StochasticConfig,
+    /// Fault model.
+    pub fault_model: FaultModel,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl BeamformingParams {
+    /// A default setup for `sensors` microphones: small staggered delays,
+    /// 8 blocks per sensor, one block every 2 rounds.
+    pub fn for_sensors(sensors: usize) -> Self {
+        Self {
+            blocks: 8,
+            block_interval: 2,
+            delays: (0..sensors).map(|s| s % 4).collect(),
+            config: StochasticConfig::default().with_max_rounds(400),
+            fault_model: FaultModel::none(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a beamforming run.
+#[derive(Debug, Clone)]
+pub struct BeamformingOutcome {
+    /// Did the beamformer assemble every block from every sensor?
+    pub completed: bool,
+    /// Round of the last assembled block.
+    pub completion_round: Option<u64>,
+    /// Blocks fully assembled (all sensors present).
+    pub blocks_assembled: u32,
+    /// Mean output power of the beamformed signal.
+    pub output_power: f64,
+    /// Full engine report.
+    pub report: SimulationReport,
+}
+
+struct SensorIp {
+    beamformer: NodeId,
+    sensor_index: u32,
+    delay: usize,
+    blocks: u32,
+    interval: u64,
+    sent: u32,
+}
+
+impl SensorIp {
+    /// The common source signal all microphones observe (a two-tone
+    /// chirp-free mixture), shifted by the per-sensor delay.
+    fn sample(&self, t: usize) -> f64 {
+        let t = t as f64;
+        (0.08 * t).sin() + 0.4 * (0.23 * t).sin()
+    }
+}
+
+impl IpCore for SensorIp {
+    fn on_round(&mut self, ctx: &mut IpContext) {
+        if self.sent >= self.blocks || !ctx.round().is_multiple_of(self.interval) {
+            return;
+        }
+        let start = self.sent as usize * BLOCK_SAMPLES;
+        let block: Vec<f64> = (0..BLOCK_SAMPLES)
+            .map(|j| self.sample(start + j + self.delay))
+            .collect();
+        let mut payload = vec![TAG_BLOCK];
+        put_u32(&mut payload, self.sensor_index);
+        put_u32(&mut payload, self.sent);
+        put_f64_slice(&mut payload, &block);
+        ctx.send(self.beamformer, payload);
+        self.sent += 1;
+    }
+
+    fn is_done(&self) -> bool {
+        self.sent >= self.blocks
+    }
+
+    fn name(&self) -> &str {
+        "sensor"
+    }
+}
+
+#[derive(Debug)]
+struct BeamformerState {
+    assembled: u32,
+    completion_round: Option<u64>,
+    power_accum: f64,
+    power_samples: u64,
+}
+
+struct BeamformerIp {
+    sensors: usize,
+    blocks: u32,
+    delays: Vec<usize>,
+    /// block id -> per-sensor samples
+    pending: std::collections::HashMap<u32, Vec<Option<Vec<f64>>>>,
+    state: Rc<RefCell<BeamformerState>>,
+}
+
+impl IpCore for BeamformerIp {
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_BLOCK) {
+            return;
+        }
+        let (Some(sensor), Some(block_id)) = (r.u32(), r.u32()) else {
+            return;
+        };
+        let Some(samples) = r.f64_slice() else { return };
+        if sensor as usize >= self.sensors
+            || block_id >= self.blocks
+            || samples.len() != BLOCK_SAMPLES
+        {
+            return;
+        }
+        let slot = self
+            .pending
+            .entry(block_id)
+            .or_insert_with(|| vec![None; self.sensors]);
+        if slot[sensor as usize].is_some() {
+            return;
+        }
+        slot[sensor as usize] = Some(samples);
+        if slot.iter().all(Option::is_some) {
+            // Delay-and-sum: each sensor observed the source shifted by
+            // its delay; summing the (already compensated) blocks yields
+            // coherent gain.
+            let blocks = self.pending.remove(&block_id).expect("just checked");
+            let mut state = self.state.borrow_mut();
+            for j in 0..BLOCK_SAMPLES {
+                let sum: f64 = blocks
+                    .iter()
+                    .map(|b| b.as_ref().expect("all present")[j])
+                    .sum();
+                let y = sum / self.sensors as f64;
+                state.power_accum += y * y;
+                state.power_samples += 1;
+            }
+            state.assembled += 1;
+            if state.assembled == self.blocks {
+                state.completion_round = Some(ctx.round());
+            }
+            let _ = &self.delays; // delays applied at the sensors
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.borrow().assembled >= self.blocks
+    }
+
+    fn name(&self) -> &str {
+        "beamformer"
+    }
+}
+
+/// Installs the beamforming workload on an arbitrary topology and runs
+/// it.
+///
+/// `sensor_tiles` are the microphone placements and `beamformer_tile` the
+/// many-to-one sink. This is the entry point the Chapter 5 architecture
+/// comparison uses with flat, hierarchical and bus-connected fabrics.
+///
+/// # Panics
+///
+/// Panics if fewer than one sensor is given, placements collide, or the
+/// delays vector does not match the sensor count.
+///
+/// # Examples
+///
+/// ```
+/// use noc_apps::beamforming::{run_on_topology, BeamformingParams};
+/// use noc_fabric::{NodeId, Topology};
+///
+/// let topology = Topology::grid(4, 4);
+/// let sensors = [NodeId(0), NodeId(3), NodeId(12), NodeId(15)];
+/// let outcome = run_on_topology(
+///     topology,
+///     &sensors,
+///     NodeId(5),
+///     BeamformingParams::for_sensors(4),
+/// );
+/// assert!(outcome.completed);
+/// ```
+pub fn run_on_topology(
+    topology: Topology,
+    sensor_tiles: &[NodeId],
+    beamformer_tile: NodeId,
+    params: BeamformingParams,
+) -> BeamformingOutcome {
+    run_with_builder(
+        SimulationBuilder::new(topology),
+        sensor_tiles,
+        beamformer_tile,
+        params,
+    )
+}
+
+/// Like [`run_on_topology`], but over a caller-prepared builder (so the
+/// diversity experiments can add egress limits or fault models first).
+///
+/// The builder's config/fault/seed are overridden by `params`.
+///
+/// # Panics
+///
+/// Same conditions as [`run_on_topology`].
+pub fn run_with_builder(
+    builder: SimulationBuilder,
+    sensor_tiles: &[NodeId],
+    beamformer_tile: NodeId,
+    params: BeamformingParams,
+) -> BeamformingOutcome {
+    assert!(!sensor_tiles.is_empty(), "at least one sensor required");
+    assert_eq!(
+        params.delays.len(),
+        sensor_tiles.len(),
+        "one delay per sensor required"
+    );
+    let mut all = sensor_tiles.to_vec();
+    all.push(beamformer_tile);
+    let count = all.len();
+    all.sort();
+    all.dedup();
+    assert_eq!(all.len(), count, "tile placements must be distinct");
+
+    let state = Rc::new(RefCell::new(BeamformerState {
+        assembled: 0,
+        completion_round: None,
+        power_accum: 0.0,
+        power_samples: 0,
+    }));
+
+    let mut builder = builder
+        .config(params.config)
+        .fault_model(params.fault_model)
+        .seed(params.seed)
+        .with_ip(
+            beamformer_tile,
+            Box::new(BeamformerIp {
+                sensors: sensor_tiles.len(),
+                blocks: params.blocks,
+                delays: params.delays.clone(),
+                pending: Default::default(),
+                state: Rc::clone(&state),
+            }),
+        );
+    for (i, &tile) in sensor_tiles.iter().enumerate() {
+        builder = builder.with_ip(
+            tile,
+            Box::new(SensorIp {
+                beamformer: beamformer_tile,
+                sensor_index: i as u32,
+                delay: params.delays[i],
+                blocks: params.blocks,
+                interval: params.block_interval,
+                sent: 0,
+            }),
+        );
+    }
+    let mut sim = builder.build();
+    let report = sim.run();
+    let state = state.borrow();
+    BeamformingOutcome {
+        completed: state.assembled >= params.blocks,
+        completion_round: state.completion_round,
+        blocks_assembled: state.assembled,
+        output_power: if state.power_samples > 0 {
+            state.power_accum / state.power_samples as f64
+        } else {
+            0.0
+        },
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_sensors() -> Vec<NodeId> {
+        vec![NodeId(0), NodeId(3), NodeId(12), NodeId(15)]
+    }
+
+    #[test]
+    fn fault_free_run_assembles_every_block() {
+        let outcome = run_on_topology(
+            Topology::grid(4, 4),
+            &grid_sensors(),
+            NodeId(5),
+            BeamformingParams::for_sensors(4),
+        );
+        assert!(outcome.completed);
+        assert_eq!(outcome.blocks_assembled, 8);
+        assert!(outcome.output_power > 0.0);
+    }
+
+    #[test]
+    fn aligned_sensors_gain_coherently() {
+        // With zero delays, all sensors see the same signal: the average
+        // equals one sensor's signal, so power matches a single source.
+        let mut params = BeamformingParams::for_sensors(4);
+        params.delays = vec![0; 4];
+        let outcome = run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params);
+        let misaligned = {
+            let mut params = BeamformingParams::for_sensors(4);
+            params.delays = vec![0, 7, 13, 23];
+            run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params)
+        };
+        assert!(
+            outcome.output_power > misaligned.output_power,
+            "coherent {} vs incoherent {}",
+            outcome.output_power,
+            misaligned.output_power
+        );
+    }
+
+    #[test]
+    fn works_on_a_fully_connected_fabric() {
+        let outcome = run_on_topology(
+            Topology::fully_connected(8),
+            &[NodeId(1), NodeId(2), NodeId(3)],
+            NodeId(0),
+            BeamformingParams {
+                delays: vec![0, 1, 2],
+                ..BeamformingParams::for_sensors(3)
+            },
+        );
+        assert!(outcome.completed);
+    }
+
+    #[test]
+    fn traffic_scales_with_block_count() {
+        let run = |blocks: u32| {
+            let params = BeamformingParams {
+                blocks,
+                ..BeamformingParams::for_sensors(4)
+            };
+            run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params)
+                .report
+                .packets_sent
+        };
+        assert!(run(12) > run(4));
+    }
+
+    #[test]
+    fn survives_moderate_upsets() {
+        let params = BeamformingParams {
+            fault_model: FaultModel::builder().p_upset(0.25).build().unwrap(),
+            config: StochasticConfig::new(0.75, 20)
+                .unwrap()
+                .with_max_rounds(600),
+            ..BeamformingParams::for_sensors(4)
+        };
+        let outcome = run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params);
+        assert!(outcome.completed, "25% upsets should be survivable");
+        assert!(outcome.report.upsets_detected > 0);
+    }
+
+    #[test]
+    fn beamformed_output_is_deterministic_per_seed() {
+        let run = |seed| {
+            let params = BeamformingParams {
+                seed,
+                ..BeamformingParams::for_sensors(4)
+            };
+            run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params)
+                .output_power
+        };
+        assert_eq!(run(1).to_bits(), run(1).to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn colliding_placements_panic() {
+        let _ = run_on_topology(
+            Topology::grid(4, 4),
+            &[NodeId(0), NodeId(0)],
+            NodeId(5),
+            BeamformingParams::for_sensors(2),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "one delay per sensor")]
+    fn delay_count_checked() {
+        let _ = run_on_topology(
+            Topology::grid(4, 4),
+            &[NodeId(0), NodeId(1)],
+            NodeId(5),
+            BeamformingParams::for_sensors(3),
+        );
+    }
+}

@@ -1,0 +1,464 @@
+//! The parallel two-dimensional FFT case study of §4.1.2.
+//!
+//! A root IP holds a `rows × cols` real image; it scatters row blocks to
+//! worker IPs (the leaves of the paper's divide-and-conquer tree), each
+//! worker runs 1-D FFTs over its rows and returns the spectra, and the
+//! root finishes with the column FFTs to assemble the full 2-D transform
+//! (Equation 5 applied to both dimensions). Workers can be replicated for
+//! crash tolerance, exactly as in the Master–Slave study.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use noc_dsp::{fft, fft2d, Complex64};
+use noc_fabric::{Grid2d, IpContext, IpCore, NodeId};
+use noc_faults::{CrashSchedule, FaultModel};
+use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
+
+use crate::wire::{put_f64_slice, put_u32, PayloadReader};
+
+const TAG_ROWS: u8 = 11;
+const TAG_SPECTRA: u8 = 12;
+
+/// Parameters of a parallel FFT2 run.
+#[derive(Debug, Clone)]
+pub struct Fft2dParams {
+    /// Grid side (the paper uses 4×4).
+    pub grid_side: usize,
+    /// Image rows (power of two).
+    pub rows: usize,
+    /// Image columns (power of two).
+    pub cols: usize,
+    /// Number of worker roles the rows are split across.
+    pub workers: usize,
+    /// Replication factor per worker role.
+    pub replication: usize,
+    /// Protocol configuration.
+    pub config: StochasticConfig,
+    /// Fault model.
+    pub fault_model: FaultModel,
+    /// Explicit crash events.
+    pub crash_schedule: CrashSchedule,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fft2dParams {
+    /// The paper's setup: 4×4 NoC, a 16×16 image split over 8 workers.
+    fn default() -> Self {
+        Self {
+            grid_side: 4,
+            rows: 16,
+            cols: 16,
+            workers: 8,
+            replication: 1,
+            config: StochasticConfig::default().with_max_rounds(300),
+            fault_model: FaultModel::none(),
+            crash_schedule: CrashSchedule::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a parallel FFT2 run.
+#[derive(Debug, Clone)]
+pub struct Fft2dOutcome {
+    /// Did the root assemble the full transform?
+    pub completed: bool,
+    /// Round at which the root finished.
+    pub completion_round: Option<u64>,
+    /// The assembled spectrum (row-major, `rows × cols`), if complete.
+    pub spectrum: Option<Vec<Complex64>>,
+    /// Row blocks collected.
+    pub blocks_collected: usize,
+    /// Full engine report.
+    pub report: SimulationReport,
+}
+
+impl Fft2dOutcome {
+    /// Maximum absolute deviation from the sequential [`fft2d`] oracle
+    /// computed on `input`, if the run completed.
+    pub fn max_error_against_oracle(&self, input: &[f64], rows: usize, cols: usize) -> Option<f64> {
+        let spectrum = self.spectrum.as_ref()?;
+        let mut oracle: Vec<Complex64> = input.iter().map(|&x| Complex64::from_re(x)).collect();
+        fft2d(&mut oracle, rows, cols);
+        Some(
+            spectrum
+                .iter()
+                .zip(&oracle)
+                .map(|(a, b)| (*a - *b).abs())
+                .fold(0.0, f64::max),
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct RootState {
+    completion_round: Option<u64>,
+    spectrum: Option<Vec<Complex64>>,
+    blocks: usize,
+}
+
+struct RootIp {
+    rows: usize,
+    cols: usize,
+    input: Vec<f64>,
+    /// role -> (row range, replica tiles)
+    assignments: Vec<(std::ops::Range<usize>, Vec<NodeId>)>,
+    /// Collected row spectra (interleaved re/im per row).
+    collected: Vec<Option<Vec<Complex64>>>,
+    state: Rc<RefCell<RootState>>,
+}
+
+impl IpCore for RootIp {
+    fn on_start(&mut self, ctx: &mut IpContext) {
+        for (role, (range, tiles)) in self.assignments.iter().enumerate() {
+            let mut block = Vec::new();
+            for r in range.clone() {
+                block.extend_from_slice(&self.input[r * self.cols..(r + 1) * self.cols]);
+            }
+            for &tile in tiles {
+                let mut payload = vec![TAG_ROWS];
+                put_u32(&mut payload, role as u32);
+                put_u32(&mut payload, self.cols as u32);
+                put_f64_slice(&mut payload, &block);
+                ctx.send(tile, payload);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_SPECTRA) {
+            return;
+        }
+        let Some(role) = r.u32() else { return };
+        let Some(values) = r.f64_slice() else { return };
+        let role = role as usize;
+        if role >= self.assignments.len() || self.collected[role].is_some() {
+            return;
+        }
+        let expected = self.assignments[role].0.len() * self.cols * 2;
+        if values.len() != expected {
+            return; // corrupt block
+        }
+        let spectra: Vec<Complex64> = values
+            .chunks_exact(2)
+            .map(|p| Complex64::new(p[0], p[1]))
+            .collect();
+        self.collected[role] = Some(spectra);
+        let mut state = self.state.borrow_mut();
+        state.blocks += 1;
+        if state.blocks == self.assignments.len() {
+            // Assemble: place row spectra, then column FFTs.
+            let mut matrix = vec![Complex64::ZERO; self.rows * self.cols];
+            for (role, (range, _)) in self.assignments.iter().enumerate() {
+                let block = self.collected[role].as_ref().expect("all collected");
+                for (i, row) in range.clone().enumerate() {
+                    matrix[row * self.cols..(row + 1) * self.cols]
+                        .copy_from_slice(&block[i * self.cols..(i + 1) * self.cols]);
+                }
+            }
+            let mut column = vec![Complex64::ZERO; self.rows];
+            for c in 0..self.cols {
+                for row in 0..self.rows {
+                    column[row] = matrix[row * self.cols + c];
+                }
+                fft(&mut column);
+                for row in 0..self.rows {
+                    matrix[row * self.cols + c] = column[row];
+                }
+            }
+            state.spectrum = Some(matrix);
+            state.completion_round = Some(ctx.round());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.borrow().spectrum.is_some()
+    }
+
+    fn name(&self) -> &str {
+        "fft2d-root"
+    }
+}
+
+struct WorkerIp {
+    root: NodeId,
+    done: bool,
+}
+
+impl IpCore for WorkerIp {
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        if self.done {
+            return;
+        }
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_ROWS) {
+            return;
+        }
+        let (Some(role), Some(cols)) = (r.u32(), r.u32()) else {
+            return;
+        };
+        let Some(samples) = r.f64_slice() else { return };
+        let cols = cols as usize;
+        if cols == 0 || !cols.is_power_of_two() || samples.len() % cols != 0 {
+            return; // corrupt work item
+        }
+        // FFT each row of the block.
+        let mut out = Vec::with_capacity(samples.len() * 2);
+        for row in samples.chunks_exact(cols) {
+            let mut line: Vec<Complex64> = row.iter().map(|&x| Complex64::from_re(x)).collect();
+            fft(&mut line);
+            for z in line {
+                out.push(z.re);
+                out.push(z.im);
+            }
+        }
+        let mut payload = vec![TAG_SPECTRA];
+        put_u32(&mut payload, role);
+        put_f64_slice(&mut payload, &out);
+        ctx.send(self.root, payload);
+        self.done = true;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn name(&self) -> &str {
+        "fft2d-worker"
+    }
+}
+
+/// A configured parallel FFT2 application.
+///
+/// # Examples
+///
+/// ```
+/// use noc_apps::fft2d::{Fft2dApp, Fft2dParams};
+///
+/// let app = Fft2dApp::new(Fft2dParams::default());
+/// let input = app.test_image();
+/// let outcome = app.run();
+/// assert!(outcome.completed);
+/// let err = outcome.max_error_against_oracle(&input, 16, 16).unwrap();
+/// assert!(err < 1e-9);
+/// ```
+#[derive(Debug)]
+pub struct Fft2dApp {
+    params: Fft2dParams,
+}
+
+impl Fft2dApp {
+    /// Creates the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions are not powers of two, the worker count does
+    /// not divide the rows, or the grid cannot host root + workers.
+    pub fn new(params: Fft2dParams) -> Self {
+        assert!(
+            params.rows.is_power_of_two() && params.cols.is_power_of_two(),
+            "image dimensions must be powers of two"
+        );
+        assert!(
+            params.workers > 0 && params.rows.is_multiple_of(params.workers),
+            "workers must evenly divide the rows"
+        );
+        assert!(params.replication > 0, "replication must be positive");
+        let tiles = params.grid_side * params.grid_side;
+        assert!(
+            params.workers * params.replication < tiles,
+            "{} tiles cannot host 1 root + {}x{} workers",
+            tiles,
+            params.workers,
+            params.replication
+        );
+        Self { params }
+    }
+
+    /// Deterministic test image (smooth 2-D tone mixture).
+    pub fn test_image(&self) -> Vec<f64> {
+        let (rows, cols) = (self.params.rows, self.params.cols);
+        (0..rows * cols)
+            .map(|i| {
+                let (r, c) = ((i / cols) as f64, (i % cols) as f64);
+                (0.3 * r).sin() + 0.5 * (0.7 * c).cos() + 0.25 * (0.2 * r * c).sin()
+            })
+            .collect()
+    }
+
+    /// The root tile (grid corner, as in the paper's tree mapping).
+    pub fn root_tile(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Worker role assignments: role → (row range, replica tiles).
+    pub fn worker_assignments(&self) -> Vec<(std::ops::Range<usize>, Vec<NodeId>)> {
+        let p = &self.params;
+        let per = p.rows / p.workers;
+        let root = self.root_tile();
+        let free: Vec<NodeId> = (0..p.grid_side * p.grid_side)
+            .map(NodeId)
+            .filter(|&n| n != root)
+            .collect();
+        (0..p.workers)
+            .map(|role| {
+                let range = role * per..(role + 1) * per;
+                let tiles = (0..p.replication)
+                    .map(|rep| free[(rep * p.workers + role) % free.len()])
+                    .collect();
+                (range, tiles)
+            })
+            .collect()
+    }
+
+    /// Runs the application.
+    pub fn run(self) -> Fft2dOutcome {
+        let root = self.root_tile();
+        let assignments = self.worker_assignments();
+        let input = self.test_image();
+        let state = Rc::new(RefCell::new(RootState::default()));
+        let p = &self.params;
+
+        let mut builder = SimulationBuilder::new(Grid2d::new(p.grid_side, p.grid_side))
+            .config(p.config)
+            .fault_model(p.fault_model)
+            .crash_schedule(p.crash_schedule.clone())
+            .seed(p.seed)
+            .with_ip(
+                root,
+                Box::new(RootIp {
+                    rows: p.rows,
+                    cols: p.cols,
+                    input,
+                    assignments: assignments.clone(),
+                    collected: vec![None; p.workers],
+                    state: Rc::clone(&state),
+                }),
+            );
+        let mut mapped = std::collections::HashSet::new();
+        for (_, tiles) in &assignments {
+            for &tile in tiles {
+                if mapped.insert(tile) {
+                    builder = builder.with_ip(
+                        tile,
+                        Box::new(WorkerIp {
+                            root,
+                            done: false,
+                        }),
+                    );
+                }
+            }
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        let state = state.borrow();
+        Fft2dOutcome {
+            completed: state.spectrum.is_some(),
+            completion_round: state.completion_round,
+            spectrum: state.spectrum.clone(),
+            blocks_collected: state.blocks,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_fft_matches_sequential_oracle() {
+        let app = Fft2dApp::new(Fft2dParams::default());
+        let input = app.test_image();
+        let outcome = app.run();
+        assert!(outcome.completed);
+        let err = outcome
+            .max_error_against_oracle(&input, 16, 16)
+            .expect("spectrum present");
+        assert!(err < 1e-9, "max error {err}");
+    }
+
+    #[test]
+    fn completes_in_a_handful_of_rounds() {
+        let outcome = Fft2dApp::new(Fft2dParams::default()).run();
+        // Paper: 5-8 rounds for FFT2 at p=0.5 on a 4x4 grid.
+        let round = outcome.completion_round.unwrap();
+        assert!((2..=20).contains(&round), "completed at round {round}");
+    }
+
+    #[test]
+    fn flooding_completes_at_scatter_gather_optimum() {
+        let params = Fft2dParams {
+            config: StochasticConfig::flooding(12).with_max_rounds(100),
+            ..Fft2dParams::default()
+        };
+        let outcome = Fft2dApp::new(params).run();
+        // Root at corner, farthest worker <= diameter 6 hops; two phases.
+        let round = outcome.completion_round.unwrap();
+        assert!(round <= 12, "flooding finished at {round}");
+    }
+
+    #[test]
+    fn replicated_workers_survive_a_crash() {
+        let base = Fft2dParams {
+            replication: 2,
+            grid_side: 5,
+            ..Fft2dParams::default()
+        };
+        let app = Fft2dApp::new(base.clone());
+        let victim = app.worker_assignments()[0].1[0];
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(victim.index(), 0);
+        let params = Fft2dParams {
+            crash_schedule: schedule,
+            config: StochasticConfig::default().with_max_rounds(100),
+            ..base
+        };
+        let input;
+        {
+            let app = Fft2dApp::new(params.clone());
+            input = app.test_image();
+        }
+        let outcome = Fft2dApp::new(params).run();
+        assert!(outcome.completed, "replica should cover the dead worker");
+        let err = outcome.max_error_against_oracle(&input, 16, 16).unwrap();
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn unreplicated_crash_prevents_completion() {
+        let app = Fft2dApp::new(Fft2dParams::default());
+        let victim = app.worker_assignments()[0].1[0];
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(victim.index(), 0);
+        let params = Fft2dParams {
+            crash_schedule: schedule,
+            config: StochasticConfig::default().with_max_rounds(60),
+            ..Fft2dParams::default()
+        };
+        let outcome = Fft2dApp::new(params).run();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.blocks_collected, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "powers of two")]
+    fn non_power_of_two_image_rejected() {
+        let _ = Fft2dApp::new(Fft2dParams {
+            rows: 12,
+            ..Fft2dParams::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide")]
+    fn worker_count_must_divide_rows() {
+        let _ = Fft2dApp::new(Fft2dParams {
+            workers: 3,
+            ..Fft2dParams::default()
+        });
+    }
+}

@@ -1,0 +1,446 @@
+//! The Master–Slave π computation of §4.1.1.
+//!
+//! Equation 4 of the paper estimates π by numerical integration of
+//! `4/(1+x²)` over `[0, 1]`; the sum is split into `K` partial sums
+//! computed by slave IPs scattered over the NoC. The master broadcasts
+//! work items, collects the partial results and assembles π. Each slave
+//! may be *replicated* on several tiles: replicas produce identical
+//! results, so the master simply takes whichever copy arrives first —
+//! this is the paper's recipe for tolerating tile crash failures in the
+//! computation itself.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use noc_fabric::{Grid2d, IpContext, IpCore, NodeId};
+use noc_faults::{CrashSchedule, FaultModel};
+use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
+
+use crate::wire::{put_f64, put_u32, PayloadReader};
+
+const TAG_WORK: u8 = 1;
+const TAG_RESULT: u8 = 2;
+
+/// One term of Equation 4's midpoint sum.
+fn pi_term(i: u64, n: u64) -> f64 {
+    let x = (i as f64 + 0.5) / n as f64;
+    4.0 / (1.0 + x * x) / n as f64
+}
+
+/// Reference value of the partial sum over `[lo, hi)`.
+fn partial_sum(lo: u64, hi: u64, n: u64) -> f64 {
+    (lo..hi).map(|i| pi_term(i, n)).sum()
+}
+
+/// Parameters of a Master–Slave run.
+#[derive(Debug, Clone)]
+pub struct MasterSlaveParams {
+    /// Grid side (the paper uses 5×5).
+    pub grid_side: usize,
+    /// Number of distinct partial sums (slave roles).
+    pub slaves: usize,
+    /// Replication factor: how many tiles compute each partial sum.
+    pub replication: usize,
+    /// Total integration terms in Equation 4.
+    pub terms: u64,
+    /// Protocol configuration.
+    pub config: StochasticConfig,
+    /// Fault model.
+    pub fault_model: FaultModel,
+    /// Explicit crash events.
+    pub crash_schedule: CrashSchedule,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MasterSlaveParams {
+    /// The paper's setup: a 5×5 grid, eight slaves, no replication,
+    /// fault-free, flooding-strength gossip at `p = 0.5`.
+    fn default() -> Self {
+        Self {
+            grid_side: 5,
+            slaves: 8,
+            replication: 1,
+            terms: 100_000,
+            config: StochasticConfig::default().with_max_rounds(300),
+            fault_model: FaultModel::none(),
+            crash_schedule: CrashSchedule::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// Outcome of a Master–Slave run.
+#[derive(Debug, Clone)]
+pub struct MasterSlaveOutcome {
+    /// Did the master collect every partial sum within the round budget?
+    pub completed: bool,
+    /// Round at which the master finished, if it did.
+    pub completion_round: Option<u64>,
+    /// The assembled π estimate, if complete.
+    pub pi_estimate: Option<f64>,
+    /// Partial sums collected (indexed by slave role).
+    pub partials_collected: usize,
+    /// Full engine report (latency, packets, energy, fault counters).
+    pub report: SimulationReport,
+}
+
+/// The master IP: scatters work, gathers partial sums.
+struct MasterIp {
+    slaves: usize,
+    terms: u64,
+    /// Tiles hosting each slave role (role -> replica tiles).
+    assignments: Vec<Vec<NodeId>>,
+    partials: Vec<Option<f64>>,
+    state: Rc<RefCell<MasterState>>,
+}
+
+#[derive(Debug, Default)]
+struct MasterState {
+    completion_round: Option<u64>,
+    pi: Option<f64>,
+    collected: usize,
+}
+
+impl IpCore for MasterIp {
+    fn on_start(&mut self, ctx: &mut IpContext) {
+        // Scatter: one work item per replica tile.
+        let per_slave = self.terms / self.slaves as u64;
+        for (role, tiles) in self.assignments.iter().enumerate() {
+            let lo = role as u64 * per_slave;
+            let hi = if role + 1 == self.slaves {
+                self.terms
+            } else {
+                lo + per_slave
+            };
+            for &tile in tiles {
+                let mut payload = vec![TAG_WORK];
+                put_u32(&mut payload, role as u32);
+                put_u32(&mut payload, lo as u32);
+                put_u32(&mut payload, hi as u32);
+                put_u32(&mut payload, self.terms as u32);
+                ctx.send(tile, payload);
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_RESULT) {
+            return; // not a result (or corrupt): ignore
+        }
+        let Some(role) = r.u32() else { return };
+        let Some(value) = r.f64() else { return };
+        let role = role as usize;
+        if role >= self.slaves || self.partials[role].is_some() {
+            return; // out of range (corrupt) or already satisfied
+        }
+        self.partials[role] = Some(value);
+        let mut state = self.state.borrow_mut();
+        state.collected += 1;
+        if state.collected == self.slaves {
+            state.pi = Some(self.partials.iter().map(|p| p.expect("all set")).sum());
+            state.completion_round = Some(ctx.round());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.state.borrow().pi.is_some()
+    }
+
+    fn name(&self) -> &str {
+        "master"
+    }
+}
+
+/// A slave IP: waits for a work item, computes its partial sum, replies.
+struct SlaveIp {
+    master: NodeId,
+    done: bool,
+}
+
+impl IpCore for SlaveIp {
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        if self.done {
+            return;
+        }
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_WORK) {
+            return;
+        }
+        let (Some(role), Some(lo), Some(hi), Some(terms)) = (r.u32(), r.u32(), r.u32(), r.u32())
+        else {
+            return;
+        };
+        if lo > hi || hi as u64 > terms as u64 || terms == 0 {
+            return; // corrupt work item
+        }
+        let value = partial_sum(lo as u64, hi as u64, terms as u64);
+        let mut payload = vec![TAG_RESULT];
+        put_u32(&mut payload, role);
+        put_f64(&mut payload, value);
+        ctx.send(self.master, payload);
+        self.done = true;
+    }
+
+    fn is_done(&self) -> bool {
+        self.done
+    }
+
+    fn name(&self) -> &str {
+        "slave"
+    }
+}
+
+/// A configured Master–Slave application, ready to run.
+///
+/// # Examples
+///
+/// ```
+/// use noc_apps::master_slave::{MasterSlaveApp, MasterSlaveParams};
+///
+/// let params = MasterSlaveParams {
+///     replication: 2,
+///     ..MasterSlaveParams::default()
+/// };
+/// let outcome = MasterSlaveApp::new(params).run();
+/// assert!(outcome.completed);
+/// ```
+#[derive(Debug)]
+pub struct MasterSlaveApp {
+    params: MasterSlaveParams,
+}
+
+impl MasterSlaveApp {
+    /// Creates the application.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid cannot host master + `slaves × replication`
+    /// tiles, or any count is zero.
+    pub fn new(params: MasterSlaveParams) -> Self {
+        let tiles = params.grid_side * params.grid_side;
+        assert!(params.slaves > 0 && params.replication > 0, "counts must be positive");
+        assert!(params.terms >= params.slaves as u64, "fewer terms than slaves");
+        assert!(
+            params.slaves * params.replication < tiles,
+            "{} tiles cannot host 1 master + {}x{} slaves",
+            tiles,
+            params.slaves,
+            params.replication
+        );
+        Self { params }
+    }
+
+    /// The tile hosting the master (grid center).
+    pub fn master_tile(&self) -> NodeId {
+        let side = self.params.grid_side;
+        NodeId((side / 2) * side + side / 2)
+    }
+
+    /// The replica tiles of each slave role, assigned round-robin over
+    /// the remaining tiles.
+    pub fn slave_assignments(&self) -> Vec<Vec<NodeId>> {
+        let master = self.master_tile();
+        let tiles = self.params.grid_side * self.params.grid_side;
+        let free: Vec<NodeId> = (0..tiles).map(NodeId).filter(|&n| n != master).collect();
+        // Spread replicas: interleave so replicas of one role land apart.
+        let mut assignments = vec![Vec::new(); self.params.slaves];
+        for rep in 0..self.params.replication {
+            for (role, assignment) in assignments.iter_mut().enumerate() {
+                let idx = (rep * self.params.slaves + role) % free.len();
+                assignment.push(free[idx]);
+            }
+        }
+        // Ensure distinct tiles across all assignments.
+        let mut used = std::collections::HashSet::new();
+        let mut cursor = 0;
+        for roles in &mut assignments {
+            for tile in roles.iter_mut() {
+                if !used.insert(*tile) {
+                    while used.contains(&free[cursor]) {
+                        cursor += 1;
+                    }
+                    *tile = free[cursor];
+                    used.insert(*tile);
+                }
+            }
+        }
+        assignments
+    }
+
+    /// Runs the application to completion or round budget.
+    pub fn run(self) -> MasterSlaveOutcome {
+        let master = self.master_tile();
+        let assignments = self.slave_assignments();
+        let state = Rc::new(RefCell::new(MasterState::default()));
+        let p = &self.params;
+
+        let mut builder = SimulationBuilder::new(Grid2d::new(p.grid_side, p.grid_side))
+            .config(p.config)
+            .fault_model(p.fault_model)
+            .crash_schedule(p.crash_schedule.clone())
+            .seed(p.seed)
+            .with_ip(
+                master,
+                Box::new(MasterIp {
+                    slaves: p.slaves,
+                    terms: p.terms,
+                    assignments: assignments.clone(),
+                    partials: vec![None; p.slaves],
+                    state: Rc::clone(&state),
+                }),
+            );
+        for tiles in &assignments {
+            for &tile in tiles {
+                builder = builder.with_ip(
+                    tile,
+                    Box::new(SlaveIp {
+                        master,
+                        done: false,
+                    }),
+                );
+            }
+        }
+        let mut sim = builder.build();
+        let report = sim.run();
+        let state = state.borrow();
+        MasterSlaveOutcome {
+            completed: state.pi.is_some(),
+            completion_round: state.completion_round,
+            pi_estimate: state.pi,
+            partials_collected: state.collected,
+            report,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equation_4_converges_to_pi() {
+        // Pure math check, no network.
+        let n = 1_000_000;
+        let pi = partial_sum(0, n, n);
+        assert!((pi - std::f64::consts::PI).abs() < 1e-9, "got {pi}");
+    }
+
+    #[test]
+    fn partial_sums_compose() {
+        let n = 10_000;
+        let whole = partial_sum(0, n, n);
+        let split = partial_sum(0, 3000, n) + partial_sum(3000, 7000, n) + partial_sum(7000, n, n);
+        assert!((whole - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fault_free_run_completes_and_estimates_pi() {
+        let outcome = MasterSlaveApp::new(MasterSlaveParams::default()).run();
+        assert!(outcome.completed);
+        let pi = outcome.pi_estimate.unwrap();
+        assert!((pi - std::f64::consts::PI).abs() < 1e-6, "pi = {pi}");
+        assert!(outcome.completion_round.unwrap() >= 2, "scatter+compute+gather");
+        assert_eq!(outcome.partials_collected, 8);
+    }
+
+    #[test]
+    fn flooding_is_not_slower_than_sparse_gossip() {
+        let run = |p: f64| {
+            let params = MasterSlaveParams {
+                config: StochasticConfig::new(p, 16).unwrap().with_max_rounds(300),
+                seed: 5,
+                ..MasterSlaveParams::default()
+            };
+            MasterSlaveApp::new(params).run()
+        };
+        let flood = run(1.0);
+        let sparse = run(0.25);
+        assert!(flood.completed);
+        if sparse.completed {
+            assert!(
+                flood.completion_round.unwrap() <= sparse.completion_round.unwrap(),
+                "flooding {} vs p=0.25 {}",
+                flood.completion_round.unwrap(),
+                sparse.completion_round.unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn replication_tolerates_a_dead_slave() {
+        // Kill one replica tile of role 0 and verify the duplicate saves
+        // the computation.
+        let params = MasterSlaveParams {
+            replication: 2,
+            ..MasterSlaveParams::default()
+        };
+        let app = MasterSlaveApp::new(params);
+        let victim = app.slave_assignments()[0][0];
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(victim.index(), 0);
+        let params = MasterSlaveParams {
+            replication: 2,
+            crash_schedule: schedule,
+            ..MasterSlaveParams::default()
+        };
+        let outcome = MasterSlaveApp::new(params).run();
+        assert!(outcome.completed, "replica should cover the dead slave");
+        assert!((outcome.pi_estimate.unwrap() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unreplicated_dead_slave_fails_the_run() {
+        let app = MasterSlaveApp::new(MasterSlaveParams::default());
+        let victim = app.slave_assignments()[0][0];
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(victim.index(), 0);
+        let params = MasterSlaveParams {
+            crash_schedule: schedule,
+            config: StochasticConfig::default().with_max_rounds(80),
+            ..MasterSlaveParams::default()
+        };
+        let outcome = MasterSlaveApp::new(params).run();
+        assert!(!outcome.completed);
+        assert_eq!(outcome.partials_collected, 7);
+    }
+
+    #[test]
+    fn survives_moderate_upsets() {
+        let params = MasterSlaveParams {
+            fault_model: FaultModel::builder().p_upset(0.3).build().unwrap(),
+            config: StochasticConfig::new(0.75, 20).unwrap().with_max_rounds(400),
+            seed: 11,
+            ..MasterSlaveParams::default()
+        };
+        let outcome = MasterSlaveApp::new(params).run();
+        assert!(outcome.completed, "30% upsets should be survivable");
+        assert!((outcome.pi_estimate.unwrap() - std::f64::consts::PI).abs() < 1e-6);
+    }
+
+    #[test]
+    fn assignments_are_distinct_tiles() {
+        let app = MasterSlaveApp::new(MasterSlaveParams {
+            replication: 2,
+            ..MasterSlaveParams::default()
+        });
+        let mut all: Vec<NodeId> = app.slave_assignments().into_iter().flatten().collect();
+        all.push(app.master_tile());
+        let n = all.len();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), n, "tiles must not be shared");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot host")]
+    fn oversubscribed_grid_panics() {
+        let _ = MasterSlaveApp::new(MasterSlaveParams {
+            grid_side: 3,
+            slaves: 8,
+            replication: 2,
+            ..MasterSlaveParams::default()
+        });
+    }
+}

@@ -1,0 +1,317 @@
+//! A reliable-delivery layer on top of stochastic communication.
+//!
+//! The paper closes §4.2.3 with: "If, however, the application requires
+//! strong reliability guarantees, these can be implemented by a higher
+//! level protocol built on top of the stochastic communication." This
+//! module is that protocol: a sender IP retransmits each datum every few
+//! rounds until an application-level acknowledgement (itself gossiped
+//! back) arrives. Each attempt is an independent gossip spread, so the
+//! residual loss probability decays geometrically in the number of
+//! attempts — strong guarantees from a best-effort substrate.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use noc_fabric::{IpContext, IpCore, NodeId};
+
+use crate::wire::{put_u32, PayloadReader};
+
+const TAG_DATA: u8 = 41;
+const TAG_ACK: u8 = 42;
+
+/// Shared view of a reliable transfer's progress.
+#[derive(Debug, Clone, Default)]
+pub struct TransferStatus {
+    /// Sequence numbers acknowledged so far.
+    pub acked: Vec<u32>,
+    /// Total data transmissions attempted (including retries).
+    pub attempts: u64,
+    /// Round at which the final acknowledgement arrived.
+    pub completion_round: Option<u64>,
+}
+
+/// Handle for observing a [`ReliableSender`] after the run.
+pub type StatusHandle = Rc<RefCell<TransferStatus>>;
+
+/// Sends a sequence of data items reliably: each unacknowledged item is
+/// retransmitted every `retry_interval` rounds.
+///
+/// # Examples
+///
+/// See [`reliable_pair`] for the usual construction.
+pub struct ReliableSender {
+    destination: NodeId,
+    items: Vec<Vec<u8>>,
+    acked: Vec<bool>,
+    retry_interval: u64,
+    last_send: Vec<Option<u64>>,
+    status: StatusHandle,
+}
+
+impl IpCore for ReliableSender {
+    fn on_round(&mut self, ctx: &mut IpContext) {
+        let round = ctx.round();
+        for (seq, item) in self.items.iter().enumerate() {
+            if self.acked[seq] {
+                continue;
+            }
+            let due = match self.last_send[seq] {
+                None => true,
+                Some(last) => round >= last + self.retry_interval,
+            };
+            if due {
+                let mut payload = vec![TAG_DATA];
+                put_u32(&mut payload, seq as u32);
+                payload.extend_from_slice(item);
+                ctx.send(self.destination, payload);
+                self.last_send[seq] = Some(round);
+                self.status.borrow_mut().attempts += 1;
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_ACK) {
+            return;
+        }
+        let Some(seq) = r.u32() else { return };
+        let seq = seq as usize;
+        if seq >= self.acked.len() || self.acked[seq] {
+            return;
+        }
+        self.acked[seq] = true;
+        let mut status = self.status.borrow_mut();
+        status.acked.push(seq as u32);
+        if status.acked.len() == self.items.len() {
+            status.completion_round = Some(ctx.round());
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        self.acked.iter().all(|&a| a)
+    }
+
+    fn name(&self) -> &str {
+        "reliable-sender"
+    }
+}
+
+/// Receives reliable data items, acknowledging every arrival (including
+/// duplicates — the ACK itself may have been lost).
+pub struct ReliableReceiver {
+    sender: NodeId,
+    expected: usize,
+    received: Vec<Option<Vec<u8>>>,
+    inbox: Rc<RefCell<Vec<Option<Vec<u8>>>>>,
+}
+
+impl IpCore for ReliableReceiver {
+    fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+        let mut r = PayloadReader::new(payload);
+        if r.u8() != Some(TAG_DATA) {
+            return;
+        }
+        let Some(seq) = r.u32() else { return };
+        let seq = seq as usize;
+        if seq >= self.expected {
+            return;
+        }
+        let data_start = payload.len() - r.remaining();
+        if self.received[seq].is_none() {
+            self.received[seq] = Some(payload[data_start..].to_vec());
+            self.inbox.borrow_mut()[seq] = Some(payload[data_start..].to_vec());
+        }
+        // Always re-acknowledge: the previous ack may have been lost.
+        let mut ack = vec![TAG_ACK];
+        put_u32(&mut ack, seq as u32);
+        ctx.send(self.sender, ack);
+    }
+
+    fn is_done(&self) -> bool {
+        self.received.iter().all(Option::is_some)
+    }
+
+    fn name(&self) -> &str {
+        "reliable-receiver"
+    }
+}
+
+/// Builds a matching sender/receiver pair for transferring `items` from
+/// `sender_tile` to `receiver_tile`, retrying every `retry_interval`
+/// rounds.
+///
+/// Returns the two IPs plus observation handles: the sender's
+/// [`StatusHandle`] and the receiver's inbox (filled in sequence order).
+///
+/// # Panics
+///
+/// Panics if `items` is empty or `retry_interval` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use noc_apps::reliable::reliable_pair;
+/// use noc_fabric::{Grid2d, NodeId};
+/// use stochastic_noc::{SimulationBuilder, StochasticConfig};
+///
+/// let (sender, receiver, status, inbox) = reliable_pair(
+///     NodeId(0),
+///     NodeId(15),
+///     vec![b"alpha".to_vec(), b"beta".to_vec()],
+///     8,
+/// );
+/// let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+///     .config(StochasticConfig::new(0.6, 12).unwrap().with_max_rounds(200))
+///     .with_ip(NodeId(0), sender)
+///     .with_ip(NodeId(15), receiver)
+///     .seed(1)
+///     .build();
+/// sim.run();
+/// assert_eq!(status.borrow().acked.len(), 2);
+/// assert_eq!(inbox.borrow()[0].as_deref(), Some(b"alpha".as_slice()));
+/// ```
+#[allow(clippy::type_complexity)]
+pub fn reliable_pair(
+    sender_tile: NodeId,
+    receiver_tile: NodeId,
+    items: Vec<Vec<u8>>,
+    retry_interval: u64,
+) -> (
+    Box<dyn IpCore>,
+    Box<dyn IpCore>,
+    StatusHandle,
+    Rc<RefCell<Vec<Option<Vec<u8>>>>>,
+) {
+    assert!(!items.is_empty(), "nothing to transfer");
+    assert!(retry_interval > 0, "retry interval must be positive");
+    let status: StatusHandle = Rc::new(RefCell::new(TransferStatus::default()));
+    let inbox = Rc::new(RefCell::new(vec![None; items.len()]));
+    let n = items.len();
+    let sender = ReliableSender {
+        destination: receiver_tile,
+        acked: vec![false; n],
+        last_send: vec![None; n],
+        items,
+        retry_interval,
+        status: Rc::clone(&status),
+    };
+    let receiver = ReliableReceiver {
+        sender: sender_tile,
+        expected: n,
+        received: vec![None; n],
+        inbox: Rc::clone(&inbox),
+    };
+    (Box::new(sender), Box::new(receiver), status, inbox)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_fabric::Grid2d;
+    use noc_faults::FaultModel;
+    use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+    fn run_transfer(
+        fault_model: FaultModel,
+        items: Vec<Vec<u8>>,
+        max_rounds: u64,
+        seed: u64,
+    ) -> (TransferStatus, Vec<Option<Vec<u8>>>) {
+        let (sender, receiver, status, inbox) =
+            reliable_pair(NodeId(0), NodeId(15), items, 10);
+        let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+            .config(
+                StochasticConfig::new(0.6, 12)
+                    .unwrap()
+                    .with_max_rounds(max_rounds),
+            )
+            .fault_model(fault_model)
+            .with_ip(NodeId(0), sender)
+            .with_ip(NodeId(15), receiver)
+            .seed(seed)
+            .build();
+        sim.run();
+        let s = status.borrow().clone();
+        let i = inbox.borrow().clone();
+        (s, i)
+    }
+
+    #[test]
+    fn fault_free_transfer_needs_one_attempt_per_item() {
+        let (status, inbox) = run_transfer(
+            FaultModel::none(),
+            vec![b"one".to_vec(), b"two".to_vec()],
+            100,
+            1,
+        );
+        assert_eq!(status.acked.len(), 2);
+        assert!(status.completion_round.is_some());
+        assert_eq!(inbox[0].as_deref(), Some(b"one".as_slice()));
+        assert_eq!(inbox[1].as_deref(), Some(b"two".as_slice()));
+        // First attempts should succeed; a retry may fire before the ack
+        // returns (round-trip > retry interval is possible but not here).
+        assert!(status.attempts <= 4, "attempts: {}", status.attempts);
+    }
+
+    #[test]
+    fn strong_reliability_under_heavy_overflow() {
+        // At 60% overflow a single gossip spread fails roughly half the
+        // time (see examples/fault_sweep.rs); verify that first, then
+        // show the retransmitting layer still gets everything through.
+        let model = FaultModel::builder().p_overflow(0.6).build().unwrap();
+        let single_shot_failures = (0..8)
+            .filter(|&seed| {
+                let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+                    .config(StochasticConfig::new(0.6, 12).unwrap().with_max_rounds(20))
+                    .fault_model(model)
+                    .seed(seed)
+                    .build();
+                let id = sim.inject(NodeId(0), NodeId(15), b"probe".to_vec());
+                !sim.run().delivered(id)
+            })
+            .count();
+        assert!(
+            single_shot_failures > 0,
+            "60% overflow should defeat some single spreads"
+        );
+
+        let (status, inbox) = run_transfer(
+            model,
+            vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()],
+            800,
+            7,
+        );
+        assert_eq!(status.acked.len(), 3, "reliable layer must deliver all");
+        assert!(inbox.iter().all(Option::is_some));
+        assert!(
+            status.attempts > 3,
+            "survival at 60% overflow requires retries, got {}",
+            status.attempts
+        );
+    }
+
+    #[test]
+    fn duplicate_data_is_delivered_once_but_reacked() {
+        // With retries shorter than the round trip, duplicates arrive;
+        // the inbox keeps one copy and the transfer still completes.
+        let (sender, receiver, status, inbox) =
+            reliable_pair(NodeId(0), NodeId(15), vec![b"dup".to_vec()], 1);
+        let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+            .config(StochasticConfig::new(0.8, 12).unwrap().with_max_rounds(200))
+            .with_ip(NodeId(0), sender)
+            .with_ip(NodeId(15), receiver)
+            .seed(3)
+            .build();
+        sim.run();
+        assert_eq!(status.borrow().acked.len(), 1);
+        assert!(status.borrow().attempts >= 2, "interval 1 must retry");
+        assert_eq!(inbox.borrow()[0].as_deref(), Some(b"dup".as_slice()));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to transfer")]
+    fn empty_transfer_rejected() {
+        let _ = reliable_pair(NodeId(0), NodeId(1), vec![], 5);
+    }
+}

@@ -1,0 +1,129 @@
+//! Payload serialization helpers shared by the applications.
+//!
+//! Application messages are small tagged binary structures; these helpers
+//! keep the encoding compact and the decoding total (corrupted payloads
+//! that leak past the CRC must never panic an IP core).
+
+/// Writes a `u32` (big-endian).
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Writes an `f64`.
+pub fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+
+/// Writes a length-prefixed `f64` slice.
+pub fn put_f64_slice(buf: &mut Vec<u8>, values: &[f64]) {
+    put_u32(buf, values.len() as u32);
+    for &v in values {
+        put_f64(buf, v);
+    }
+}
+
+/// A bounds-checked reader over a payload.
+#[derive(Debug, Clone)]
+pub struct PayloadReader<'a> {
+    bytes: &'a [u8],
+    cursor: usize,
+}
+
+impl<'a> PayloadReader<'a> {
+    /// Creates a reader at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, cursor: 0 }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.cursor
+    }
+
+    /// Reads a `u8`; `None` if exhausted.
+    pub fn u8(&mut self) -> Option<u8> {
+        let v = *self.bytes.get(self.cursor)?;
+        self.cursor += 1;
+        Some(v)
+    }
+
+    /// Reads a big-endian `u32`; `None` if exhausted.
+    pub fn u32(&mut self) -> Option<u32> {
+        let end = self.cursor.checked_add(4)?;
+        let slice = self.bytes.get(self.cursor..end)?;
+        self.cursor = end;
+        Some(u32::from_be_bytes(slice.try_into().ok()?))
+    }
+
+    /// Reads an `f64`; `None` if exhausted.
+    pub fn f64(&mut self) -> Option<f64> {
+        let end = self.cursor.checked_add(8)?;
+        let slice = self.bytes.get(self.cursor..end)?;
+        self.cursor = end;
+        Some(f64::from_be_bytes(slice.try_into().ok()?))
+    }
+
+    /// Reads a length-prefixed `f64` vector with a sanity cap; `None` on
+    /// truncation or an implausible length (corrupt payload defense).
+    pub fn f64_slice(&mut self) -> Option<Vec<f64>> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() / 8 {
+            return None;
+        }
+        (0..len).map(|_| self.f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut buf = vec![7u8];
+        put_u32(&mut buf, 0xDEAD_BEEF);
+        put_f64(&mut buf, -1.5);
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.u8(), Some(7));
+        assert_eq!(r.u32(), Some(0xDEAD_BEEF));
+        assert_eq!(r.f64(), Some(-1.5));
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(r.u8(), None);
+    }
+
+    #[test]
+    fn round_trip_slices() {
+        let values = [1.0, -2.5, 3.25];
+        let mut buf = Vec::new();
+        put_f64_slice(&mut buf, &values);
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.f64_slice(), Some(values.to_vec()));
+    }
+
+    #[test]
+    fn empty_slice_round_trips() {
+        let mut buf = Vec::new();
+        put_f64_slice(&mut buf, &[]);
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.f64_slice(), Some(vec![]));
+    }
+
+    #[test]
+    fn corrupt_length_is_rejected_not_panicking() {
+        // Claim 2^31 floats but provide 4 bytes.
+        let mut buf = Vec::new();
+        put_u32(&mut buf, u32::MAX);
+        buf.extend_from_slice(&[0, 0, 0, 0]);
+        let mut r = PayloadReader::new(&buf);
+        assert_eq!(r.f64_slice(), None);
+    }
+
+    #[test]
+    fn truncated_reads_return_none() {
+        let mut r = PayloadReader::new(&[1, 2, 3]);
+        assert_eq!(r.u32(), None);
+        let mut r = PayloadReader::new(&[1, 2, 3, 4, 5]);
+        assert_eq!(r.u32(), Some(0x01020304));
+        assert_eq!(r.f64(), None);
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 4-6 bench: the shared-bus baseline and the full NoC-vs-bus
+//! comparison row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_bus::{BusConfig, BusSimulation, Transfer};
+use noc_experiments::{fig4_6, Scale};
+use std::hint::black_box;
+
+fn bench_bus(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4-6 bus comparison");
+    group.sample_size(10);
+
+    group.bench_function("bus 16 modules all-at-once", |b| {
+        b.iter(|| {
+            let mut bus = BusSimulation::new(16, BusConfig::default());
+            for src in 0..16usize {
+                bus.submit(Transfer::new(src, (src + 1) % 16, 64, 0.0));
+            }
+            black_box(bus.run().completed_transfers)
+        })
+    });
+    group.bench_function("full fig4-6 quick", |b| {
+        b.iter(|| black_box(fig4_6::run(Scale::Quick).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bus);
+criterion_main!(benches);

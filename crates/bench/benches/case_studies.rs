@@ -1,0 +1,45 @@
+//! Figure 4-4 / 4-5 benches: the Master-Slave and FFT2 case studies at
+//! flooding and p=0.5.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_apps::fft2d::{Fft2dApp, Fft2dParams};
+use noc_apps::master_slave::{MasterSlaveApp, MasterSlaveParams};
+use std::hint::black_box;
+use stochastic_noc::StochasticConfig;
+
+fn bench_case_studies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4-4 case studies");
+    group.sample_size(10);
+
+    for p in [1.0, 0.5] {
+        group.bench_function(format!("master-slave 5x5 p={p}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let params = MasterSlaveParams {
+                    config: StochasticConfig::new(p, 16).unwrap().with_max_rounds(150),
+                    terms: 10_000,
+                    seed,
+                    ..MasterSlaveParams::default()
+                };
+                black_box(MasterSlaveApp::new(params).run().completed)
+            })
+        });
+        group.bench_function(format!("fft2 4x4 p={p}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let params = Fft2dParams {
+                    config: StochasticConfig::new(p, 16).unwrap().with_max_rounds(150),
+                    seed,
+                    ..Fft2dParams::default()
+                };
+                black_box(Fft2dApp::new(params).run().completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_case_studies);
+criterion_main!(benches);

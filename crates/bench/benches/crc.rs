@@ -1,0 +1,48 @@
+//! Chapter 2 / error-model benches: CRC codec throughput (bit-serial vs
+//! table-driven ablation) and error-vector scrambling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use noc_crc::{BitwiseCrc, CrcAlgorithm, CrcParams, PacketCodec, TableCrc};
+use noc_faults::ErrorModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_crc(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1024];
+    let mut group = c.benchmark_group("crc throughput");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.sample_size(50);
+
+    let bitwise = BitwiseCrc::new(CrcParams::CRC16_CCITT);
+    group.bench_function("bitwise crc16 1KiB", |b| {
+        b.iter(|| bitwise.checksum(black_box(&data)))
+    });
+    let table = TableCrc::new(CrcParams::CRC16_CCITT);
+    group.bench_function("table crc16 1KiB", |b| {
+        b.iter(|| table.checksum(black_box(&data)))
+    });
+    let codec = PacketCodec::new(CrcParams::CRC16_CCITT);
+    let framed = codec.encode(&data);
+    group.bench_function("verify 1KiB frame", |b| {
+        b.iter(|| codec.verify(black_box(&framed)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("error models");
+    group.sample_size(50);
+    let mut rng = StdRng::seed_from_u64(1);
+    for model in [ErrorModel::RandomErrorVector, ErrorModel::RandomBitError] {
+        group.bench_function(format!("scramble 64B {model:?}"), |b| {
+            b.iter(|| {
+                let mut payload = vec![0u8; 64];
+                model.scramble(&mut rng, &mut payload, 0.5);
+                black_box(payload)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_crc);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Figure 5-3 bench: the three-architecture beamforming comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_diversity::{compare_architectures, ComparisonParams};
+use std::hint::black_box;
+
+fn bench_diversity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5-3 diversity");
+    group.sample_size(10);
+    group.bench_function("compare three fabrics (quick)", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let params = ComparisonParams {
+                seed,
+                ..ComparisonParams::quick()
+            };
+            black_box(compare_architectures(&params).len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_diversity);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Core-engine microbenches: per-round cost of the gossip protocol at
+//! several grid sizes and forwarding probabilities, plus the spread
+//! termination ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_fabric::{Grid2d, NodeId};
+use std::hint::black_box;
+use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+fn broadcast(side: usize, p: f64, terminate: bool, seed: u64) -> u64 {
+    let mut sim = SimulationBuilder::new(Grid2d::new(side, side))
+        .config(
+            StochasticConfig::new(p, 16)
+                .unwrap()
+                .with_max_rounds(60)
+                .with_termination(terminate),
+        )
+        .seed(seed)
+        .build();
+    sim.inject(NodeId(0), NodeId(side * side - 1), b"bench".to_vec());
+    sim.run().packets_sent
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine broadcast");
+    group.sample_size(20);
+    for side in [4usize, 8] {
+        for p in [1.0, 0.5] {
+            group.bench_function(format!("{side}x{side} p={p}"), |b| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    black_box(broadcast(side, p, false, seed))
+                })
+            });
+        }
+    }
+    // Ablation: spread termination cuts traffic.
+    group.bench_function("4x4 p=0.5 terminated", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(broadcast(4, 0.5, true, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

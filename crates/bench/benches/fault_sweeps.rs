@@ -1,0 +1,38 @@
+//! Figure 4-5 / 4-10 benches: one fault-sweep grid point under upsets
+//! and under overflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_apps::master_slave::{MasterSlaveApp, MasterSlaveParams};
+use noc_faults::FaultModel;
+use std::hint::black_box;
+use stochastic_noc::StochasticConfig;
+
+fn bench_fault_sweeps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4-5/4-10 fault sweeps");
+    group.sample_size(10);
+
+    for (label, model) in [
+        ("upset 0.3", FaultModel::builder().p_upset(0.3).build().unwrap()),
+        ("overflow 0.3", FaultModel::builder().p_overflow(0.3).build().unwrap()),
+        ("sigma 0.3", FaultModel::builder().sigma_synch(0.3).build().unwrap()),
+    ] {
+        group.bench_function(format!("master-slave under {label}"), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let params = MasterSlaveParams {
+                    config: StochasticConfig::new(0.5, 20).unwrap().with_max_rounds(300),
+                    fault_model: model,
+                    terms: 10_000,
+                    seed,
+                    ..MasterSlaveParams::default()
+                };
+                black_box(MasterSlaveApp::new(params).run().completed)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fault_sweeps);
+criterion_main!(benches);

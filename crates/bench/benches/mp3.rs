@@ -1,0 +1,41 @@
+//! Figure 4-8..4-11 benches: the MP3 pipeline end to end plus its DSP
+//! kernels (MDCT and the iterative rate loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_apps::mp3::{Mp3App, Mp3Params};
+use noc_dsp::quantize::rate_control;
+use noc_dsp::MdctFrame;
+use std::hint::black_box;
+
+fn bench_mp3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4-8..11 mp3");
+    group.sample_size(10);
+
+    group.bench_function("mp3 pipeline 6 frames 4x4", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let params = Mp3Params {
+                frames: 6,
+                seed,
+                ..Mp3Params::default()
+            };
+            black_box(Mp3App::new(params).run().frames_delivered)
+        })
+    });
+
+    group.bench_function("mdct analyze 64-sample hop", |b| {
+        let mut engine = MdctFrame::new(128);
+        let hop: Vec<f64> = (0..64).map(|n| (n as f64 * 0.1).sin()).collect();
+        b.iter(|| black_box(engine.analyze(black_box(&hop))))
+    });
+
+    group.bench_function("rate_control 64 coeffs 400 bits", |b| {
+        let coeffs: Vec<f64> = (0..64).map(|n| (n as f64 * 0.29).sin() * 4.0).collect();
+        b.iter(|| black_box(rate_control(black_box(&coeffs), 400).bits))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_mp3);
+criterion_main!(benches);

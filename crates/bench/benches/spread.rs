@@ -1,0 +1,39 @@
+//! Figure 3-1 / 3-3 benches: epidemic spread theory, the rumor Monte
+//! Carlo, and a full gossip broadcast on the 4x4 grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_fabric::{Grid2d, NodeId};
+use std::hint::black_box;
+use stochastic_noc::{spread, SimulationBuilder, StochasticConfig};
+
+fn bench_spread(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3-1 spread");
+    group.sample_size(20);
+
+    group.bench_function("deterministic_curve n=1000 t=20", |b| {
+        b.iter(|| spread::deterministic_curve(black_box(1000), black_box(20)))
+    });
+    group.bench_function("simulate_rumor n=1000 t=20", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            spread::simulate_rumor(black_box(1000), black_box(20), seed)
+        })
+    });
+    group.bench_function("fig3-3 broadcast 4x4 p=0.5", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+                .config(StochasticConfig::new(0.5, 12).unwrap().with_max_rounds(40))
+                .seed(seed)
+                .build();
+            sim.inject(NodeId(5), NodeId(11), b"bench".to_vec());
+            black_box(sim.run().packets_sent)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spread);
+criterion_main!(benches);

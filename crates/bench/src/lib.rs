@@ -1,0 +1,3 @@
+//! Benchmark-only crate: all content lives in `benches/`, one Criterion
+//! target per figure/table of the paper (see DESIGN.md's experiment
+//! index).

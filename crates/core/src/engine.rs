@@ -1,0 +1,1121 @@
+//! The round-synchronous stochastic communication engine.
+//!
+//! Executes the algorithm of Figure 3-4 over an arbitrary topology with
+//! full fault injection. Each gossip round proceeds in the paper's order:
+//!
+//! 1. **Receive** — frames that were sent last round arrive; overflow
+//!    drops are applied, the CRC check discards scrambled packets, and
+//!    surviving messages are merged into the tile's deduplicating
+//!    [`SendBuffer`]. Messages whose destination field equals the tile id
+//!    are delivered to the local IP (exactly once per message id).
+//! 2. **Compute** — the IP core runs (computation time is 0, as in the
+//!    paper) and may emit new messages, which join the send buffer.
+//! 3. **Age** — every buffered TTL is decremented; expired messages are
+//!    garbage-collected.
+//! 4. **Forward** — every remaining message is offered to every output
+//!    link and transmitted independently with probability `p`; upsets
+//!    scramble frames in flight, dead links/tiles swallow them, and tiles
+//!    whose clock domain slipped deliver one round late.
+//!
+//! The engine is deterministic: `(topology, config, fault model, seed)`
+//! exactly reproduce a run.
+
+use noc_energy::{Bits, TechnologyLibrary};
+use noc_fabric::{
+    ClockDomain, Grid2d, IpContext, IpCore, Message, MessageId, NodeId, NullIp, ReceiveBuffer,
+    Topology, WireCodec,
+};
+use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
+
+use std::collections::HashSet;
+
+use crate::config::StochasticConfig;
+use crate::metrics::{MessageRecord, SimulationReport};
+use crate::send_buffer::SendBuffer;
+
+/// A frame in flight on a link.
+#[derive(Debug, Clone)]
+struct Frame {
+    bytes: Vec<u8>,
+    scrambled: bool,
+}
+
+/// Per-round statistics returned by [`Simulation::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundStats {
+    /// The round that was just executed.
+    pub round: u64,
+    /// Frames transmitted onto links during this round.
+    pub transmissions: u64,
+    /// First-time deliveries to destination IPs during this round.
+    pub deliveries: u64,
+    /// Live messages across all send buffers after aging.
+    pub live_messages: u64,
+}
+
+/// Builder for [`Simulation`].
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::Grid2d;
+/// use noc_faults::FaultModel;
+/// use stochastic_noc::SimulationBuilder;
+///
+/// let sim = SimulationBuilder::new(Grid2d::new(4, 4))
+///     .forward_probability(0.75)
+///     .ttl(10)
+///     .max_rounds(200)
+///     .fault_model(FaultModel::none())
+///     .seed(1234)
+///     .build();
+/// assert_eq!(sim.node_count(), 16);
+/// ```
+pub struct SimulationBuilder {
+    topology: Topology,
+    config: StochasticConfig,
+    fault_model: FaultModel,
+    crash_schedule: CrashSchedule,
+    seed: u64,
+    tech: TechnologyLibrary,
+    codec: WireCodec,
+    ips: Vec<Option<Box<dyn IpCore>>>,
+    egress_limits: Vec<Option<usize>>,
+    forward_overrides: Vec<Option<f64>>,
+}
+
+impl SimulationBuilder {
+    /// Starts building a simulation over `topology`.
+    pub fn new(topology: impl Into<Topology>) -> Self {
+        let topology = topology.into();
+        let n = topology.node_count();
+        Self {
+            topology,
+            config: StochasticConfig::default(),
+            fault_model: FaultModel::none(),
+            crash_schedule: CrashSchedule::new(),
+            seed: 0,
+            tech: TechnologyLibrary::NOC_LINK_0_25UM,
+            codec: WireCodec::default(),
+            ips: (0..n).map(|_| None).collect(),
+            egress_limits: vec![None; n],
+            forward_overrides: vec![None; n],
+        }
+    }
+
+    /// Sets the full protocol configuration.
+    pub fn config(mut self, config: StochasticConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the forwarding probability `p`.
+    pub fn forward_probability(mut self, p: f64) -> Self {
+        self.config.forward_probability = p;
+        self
+    }
+
+    /// Sets the message TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.config.default_ttl = ttl;
+        self
+    }
+
+    /// Sets the simulation round budget.
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.config.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the fault model (defaults to fault-free).
+    pub fn fault_model(mut self, model: FaultModel) -> Self {
+        self.fault_model = model;
+        self
+    }
+
+    /// Sets explicit crash events.
+    pub fn crash_schedule(mut self, schedule: CrashSchedule) -> Self {
+        self.crash_schedule = schedule;
+        self
+    }
+
+    /// Seeds the deterministic fault/forwarding randomness.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the technology point used for energy accounting.
+    pub fn technology(mut self, tech: TechnologyLibrary) -> Self {
+        self.tech = tech;
+        self
+    }
+
+    /// Sets the wire codec (CRC parameter choice).
+    pub fn wire_codec(mut self, codec: WireCodec) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Limits how many distinct messages a tile may forward per round.
+    ///
+    /// Models serialized shared media: a "bus node" with an egress limit
+    /// of 1 transmits one message per round, so traffic funnelled through
+    /// it queues — the contention penalty of bus-connected architectures
+    /// (Chapter 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology or `limit` is zero.
+    pub fn egress_limit(mut self, node: NodeId, limit: usize) -> Self {
+        assert!(
+            node.index() < self.topology.node_count(),
+            "{node} outside topology"
+        );
+        assert!(limit > 0, "egress limit must be at least 1");
+        self.egress_limits[node.index()] = Some(limit);
+        self
+    }
+
+    /// Overrides the forwarding probability for one tile.
+    ///
+    /// Supports heterogeneous fabrics (Chapter 5's on-chip diversity):
+    /// e.g. a bus bridge forwards deterministically (`p = 1`, every bus
+    /// transaction is heard by all listeners) while ordinary tiles gossip
+    /// at the global `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology or `p` is not a
+    /// probability.
+    pub fn forward_probability_at(mut self, node: NodeId, p: f64) -> Self {
+        assert!(
+            node.index() < self.topology.node_count(),
+            "{node} outside topology"
+        );
+        assert!((0.0..=1.0).contains(&p), "probability {p} not in [0, 1]");
+        self.forward_overrides[node.index()] = Some(p);
+        self
+    }
+
+    /// Maps an IP core onto a tile. Unmapped tiles get [`NullIp`] and
+    /// still participate in gossip forwarding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology.
+    pub fn with_ip(mut self, node: NodeId, ip: Box<dyn IpCore>) -> Self {
+        assert!(
+            node.index() < self.topology.node_count(),
+            "{node} outside topology"
+        );
+        self.ips[node.index()] = Some(ip);
+        self
+    }
+
+    /// Finalizes the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration or fault model is invalid
+    /// (construct them through their checked builders to avoid this).
+    pub fn build(self) -> Simulation {
+        self.config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        let mut injector = FaultInjector::new(self.fault_model, self.seed);
+        let n = self.topology.node_count();
+        let m = self.topology.link_count();
+        let tiles_alive = injector.sample_alive_tiles(n);
+        let links_alive = injector.sample_alive_links(m);
+        let ips: Vec<Box<dyn IpCore>> = self
+            .ips
+            .into_iter()
+            .map(|ip| ip.unwrap_or_else(|| Box::new(NullIp)))
+            .collect();
+        Simulation {
+            egress_cursors: vec![0; self.egress_limits.len()],
+            egress_limits: self.egress_limits,
+            forward_overrides: self.forward_overrides,
+            terminated: HashSet::new(),
+            report: SimulationReport::new(self.tech),
+            buffers: (0..n).map(|_| SendBuffer::new()).collect(),
+            clocks: vec![ClockDomain::new(); n],
+            inbox_next: vec![Vec::new(); n],
+            inbox_later: vec![Vec::new(); n],
+            tiles_alive,
+            links_alive,
+            topology: self.topology,
+            config: self.config,
+            crash_schedule: self.crash_schedule,
+            injector,
+            codec: self.codec,
+            ips,
+            round: 0,
+            next_message_id: 0,
+            started: false,
+            completed: false,
+        }
+    }
+}
+
+/// A stochastic-communication simulation in progress.
+///
+/// Drive it with [`Simulation::run`] (to completion or budget) or
+/// round-by-round with [`Simulation::step`].
+pub struct Simulation {
+    topology: Topology,
+    config: StochasticConfig,
+    crash_schedule: CrashSchedule,
+    injector: FaultInjector,
+    codec: WireCodec,
+    tiles_alive: Vec<bool>,
+    links_alive: Vec<bool>,
+    buffers: Vec<SendBuffer>,
+    clocks: Vec<ClockDomain>,
+    inbox_next: Vec<Vec<Frame>>,
+    inbox_later: Vec<Vec<Frame>>,
+    ips: Vec<Box<dyn IpCore>>,
+    egress_limits: Vec<Option<usize>>,
+    egress_cursors: Vec<usize>,
+    forward_overrides: Vec<Option<f64>>,
+    terminated: HashSet<MessageId>,
+    report: SimulationReport,
+    round: u64,
+    next_message_id: u64,
+    started: bool,
+    completed: bool,
+}
+
+impl Simulation {
+    /// Number of tiles in the network.
+    pub fn node_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// The topology under simulation.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The protocol configuration in force.
+    pub fn config(&self) -> &StochasticConfig {
+        &self.config
+    }
+
+    /// The current round (number of rounds fully executed).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// True once every IP has reported done.
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// Is this tile currently alive?
+    pub fn tile_alive(&self, node: NodeId) -> bool {
+        self.tiles_alive[node.index()] && !self.crash_schedule.tile_dead(node.index(), self.round)
+    }
+
+    /// Number of tiles whose send buffer has seen message `id` — the
+    /// "informed population" of the epidemic analogy.
+    pub fn informed_count(&self, id: MessageId) -> usize {
+        self.buffers.iter().filter(|b| b.has_seen(id)).count()
+    }
+
+    /// Has this tile's send buffer ever seen message `id`?
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology.
+    pub fn node_informed(&self, node: NodeId, id: MessageId) -> bool {
+        self.buffers[node.index()].has_seen(id)
+    }
+
+    /// Number of live messages currently buffered at a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is outside the topology.
+    pub fn buffer_len(&self, node: NodeId) -> usize {
+        self.buffers[node.index()].len()
+    }
+
+    /// The running report (final once the run stops).
+    pub fn report(&self) -> &SimulationReport {
+        &self.report
+    }
+
+    /// Consumes the simulation, returning the report.
+    pub fn into_report(self) -> SimulationReport {
+        let mut report = self.report;
+        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
+        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
+        report
+    }
+
+    /// Injects a message from outside the IP layer (protocol-level use).
+    ///
+    /// The message enters `source`'s send buffer at the current round. If
+    /// the source tile is dead, the message is recorded but lost. A
+    /// message addressed to its own source is delivered immediately.
+    pub fn inject(&mut self, source: NodeId, destination: NodeId, payload: Vec<u8>) -> MessageId {
+        let id = MessageId(self.next_message_id);
+        self.next_message_id += 1;
+        let frame_bits = self.codec.frame_bits(payload.len());
+        self.report.record_injection(MessageRecord {
+            id,
+            source,
+            destination,
+            injected_round: self.round,
+            delivered_round: None,
+            frame_bits,
+        });
+        let message = Message::new(id, source, destination, self.config.default_ttl, payload);
+        if !self.tile_alive(source) {
+            return id;
+        }
+        if destination == source {
+            self.report.record_delivery(id, self.round);
+            // Local loopback skips the network; the IP sees it next round.
+            let frame = self.codec.encode(&message);
+            self.inbox_next[source.index()].push(Frame {
+                bytes: frame,
+                scrambled: false,
+            });
+            return id;
+        }
+        self.buffers[source.index()].insert(message);
+        id
+    }
+
+    /// Runs until every IP is done or the round budget is exhausted,
+    /// returning the final report.
+    pub fn run(&mut self) -> SimulationReport {
+        while !self.completed && self.round < self.config.max_rounds {
+            self.step();
+        }
+        let mut report = self.report.clone();
+        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
+        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
+        report
+    }
+
+    /// Runs to completion/budget while collecting every round's
+    /// [`RoundStats`] — the traffic-over-time view (power profile via
+    /// Equation 3: each round's transmissions × frame bits × `E_bit`).
+    pub fn run_with_history(&mut self) -> (SimulationReport, Vec<RoundStats>) {
+        let mut history = Vec::new();
+        while !self.completed && self.round < self.config.max_rounds {
+            history.push(self.step());
+        }
+        let mut report = self.report.clone();
+        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
+        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
+        (report, history)
+    }
+
+    /// Executes one gossip round.
+    pub fn step(&mut self) -> RoundStats {
+        let round = self.round;
+        let n = self.node_count();
+        let mut stats = RoundStats {
+            round,
+            ..RoundStats::default()
+        };
+
+        // Shift the delay line: frames due now, frames due next round.
+        let current: Vec<Vec<Frame>> = std::mem::replace(&mut self.inbox_next, std::mem::take(&mut self.inbox_later));
+        self.inbox_later = vec![Vec::new(); n];
+
+        // Phase 1: receive.
+        let mut deliveries: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
+        for (tile, frames) in current.into_iter().enumerate() {
+            let node = NodeId(tile);
+            if !self.tile_alive(node) {
+                self.report.crash_drops += frames.len() as u64;
+                continue;
+            }
+            let accepted = self.apply_overflow(frames);
+            for frame in accepted {
+                match self.codec.decode(&frame.bytes) {
+                    Ok(message) => {
+                        if self.terminated.contains(&message.id) {
+                            continue; // spread already terminated
+                        }
+                        if frame.scrambled {
+                            // The CRC failed to notice the upset: the
+                            // corrupt message proceeds, faithfully.
+                            self.report.upsets_undetected += 1;
+                        }
+                        let is_new = !self.buffers[tile].has_seen(message.id);
+                        if message.destination == node && is_new {
+                            self.report.record_delivery(message.id, round);
+                            stats.deliveries += 1;
+                            deliveries[tile].push((message.source, message.payload.clone()));
+                            if self.config.terminate_on_delivery {
+                                self.terminated.insert(message.id);
+                            }
+                        }
+                        self.buffers[tile].insert(message);
+                    }
+                    Err(_) => {
+                        self.report.upsets_detected += 1;
+                    }
+                }
+            }
+        }
+
+        // Phase 2: compute (IPs run with zero computation time).
+        #[allow(clippy::needless_range_loop)] // indexes ips, deliveries and inboxes in lockstep
+        for tile in 0..n {
+            let node = NodeId(tile);
+            if !self.tile_alive(node) {
+                continue;
+            }
+            let mut ctx = IpContext::new(node, round);
+            if !self.started {
+                self.ips[tile].on_start(&mut ctx);
+            }
+            for (from, payload) in std::mem::take(&mut deliveries[tile]) {
+                self.ips[tile].on_message(&mut ctx, from, &payload);
+            }
+            self.ips[tile].on_round(&mut ctx);
+            for (destination, payload) in ctx.take_outbox() {
+                self.inject_from_ip(node, destination, payload);
+            }
+        }
+        self.started = true;
+
+        // Phase 3: age TTLs and garbage-collect; terminated spreads are
+        // purged from every buffer first.
+        if self.config.terminate_on_delivery && !self.terminated.is_empty() {
+            for buffer in &mut self.buffers {
+                for &id in &self.terminated {
+                    buffer.remove(id);
+                }
+            }
+        }
+        for buffer in &mut self.buffers {
+            buffer.age();
+        }
+        stats.live_messages = self.buffers.iter().map(|b| b.len() as u64).sum();
+
+        // Phase 4: forward with probability p per (message, link).
+        for tile in 0..n {
+            let p = self.forward_overrides[tile].unwrap_or(self.config.forward_probability);
+            let node = NodeId(tile);
+            if !self.tile_alive(node) || self.buffers[tile].is_empty() {
+                continue;
+            }
+            // Synchronization: a slipped tile delivers one round late.
+            let skew = self.injector.round_skew();
+            let slipped = self.clocks[tile].advance(skew);
+            let out_links: Vec<_> = self.topology.out_links(node).to_vec();
+            let mut messages: Vec<Message> = self.buffers[tile].iter().cloned().collect();
+            if let Some(limit) = self.egress_limits[tile] {
+                // Serve the buffer round-robin so a long-lived head does
+                // not starve later arrivals (bus-style fair arbitration).
+                if messages.len() > limit {
+                    let start = self.egress_cursors[tile] % messages.len();
+                    messages.rotate_left(start);
+                    messages.truncate(limit);
+                    self.egress_cursors[tile] = (start + limit) % self.buffers[tile].len().max(1);
+                }
+            }
+            for message in &messages {
+                let frame = self.codec.encode(message);
+                for &link_id in &out_links {
+                    if p < 1.0 && !self.injector.rng().gen_bool_p(p) {
+                        continue;
+                    }
+                    stats.transmissions += 1;
+                    self.report.packets_sent += 1;
+                    self.report.bits_sent += Bits((frame.len() * 8) as u64);
+                    let link_dead = !self.links_alive[link_id.index()]
+                        || self.crash_schedule.link_dead(link_id.index(), round);
+                    if link_dead {
+                        self.report.crash_drops += 1;
+                        continue;
+                    }
+                    let to = self.topology.link(link_id).to;
+                    let mut out = Frame {
+                        bytes: frame.clone(),
+                        scrambled: false,
+                    };
+                    if self.injector.upset_occurs() {
+                        self.injector.scramble(&mut out.bytes);
+                        out.scrambled = true;
+                    }
+                    if slipped {
+                        self.inbox_later[to.index()].push(out);
+                    } else {
+                        self.inbox_next[to.index()].push(out);
+                    }
+                }
+            }
+        }
+
+        self.round += 1;
+        // The run is complete when every IP has finished *and* the network
+        // has drained: no live messages buffered and nothing in flight.
+        // (Keeping the spread alive until TTL expiry matches the paper's
+        // "the spread could be terminated" remark — the TTL is the
+        // termination mechanism.)
+        let drained = self.buffers.iter().all(SendBuffer::is_empty)
+            && self.inbox_next.iter().all(Vec::is_empty)
+            && self.inbox_later.iter().all(Vec::is_empty);
+        self.completed = drained && self.ips.iter().all(|ip| ip.is_done());
+        self.report.rounds_executed = self.round;
+        self.report.completed = self.completed;
+        stats
+    }
+
+    fn inject_from_ip(&mut self, source: NodeId, destination: NodeId, payload: Vec<u8>) {
+        let id = MessageId(self.next_message_id);
+        self.next_message_id += 1;
+        let frame_bits = self.codec.frame_bits(payload.len());
+        self.report.record_injection(MessageRecord {
+            id,
+            source,
+            destination,
+            injected_round: self.round,
+            delivered_round: None,
+            frame_bits,
+        });
+        let message = Message::new(id, source, destination, self.config.default_ttl, payload);
+        if destination == source {
+            self.report.record_delivery(id, self.round);
+            let frame = self.codec.encode(&message);
+            self.inbox_next[source.index()].push(Frame {
+                bytes: frame,
+                scrambled: false,
+            });
+            return;
+        }
+        self.buffers[source.index()].insert(message);
+    }
+
+    /// Applies the configured overflow policy to a round's arrivals.
+    fn apply_overflow(&mut self, frames: Vec<Frame>) -> Vec<Frame> {
+        match self.injector.model().overflow_mode {
+            OverflowMode::Probabilistic => {
+                let p = self.injector.model().p_overflow;
+                if p == 0.0 {
+                    return frames;
+                }
+                let mut kept = Vec::with_capacity(frames.len());
+                for frame in frames {
+                    if self.injector.overflow_drop() {
+                        self.report.overflow_drops += 1;
+                    } else {
+                        kept.push(frame);
+                    }
+                }
+                kept
+            }
+            OverflowMode::Structural { capacity } => {
+                let mut buffer = ReceiveBuffer::bounded(capacity);
+                for frame in frames {
+                    if buffer.push(frame).is_some() {
+                        self.report.overflow_drops += 1;
+                    }
+                }
+                buffer.drain().collect()
+            }
+        }
+    }
+}
+
+/// Extension trait so the engine can draw Bernoulli samples through the
+/// injector's deterministic stream without importing `rand` traits at
+/// every call site.
+trait GenBool {
+    fn gen_bool_p(&mut self, p: f64) -> bool;
+}
+
+impl GenBool for rand::rngs::StdRng {
+    fn gen_bool_p(&mut self, p: f64) -> bool {
+        use rand::Rng;
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.gen_bool(p)
+        }
+    }
+}
+
+impl SimulationBuilder {
+    /// Convenience: builds over a square grid of `side × side` tiles.
+    pub fn square_grid(side: usize) -> Self {
+        Self::new(Grid2d::new(side, side))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_faults::ErrorModel;
+
+    fn grid4() -> Grid2d {
+        Grid2d::new(4, 4)
+    }
+
+    #[test]
+    fn flooding_delivers_in_manhattan_distance_rounds() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12))
+            .seed(1)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        assert!(report.delivered(id));
+        // Tile 5 -> 11 is 3 hops; flooding is latency-optimal.
+        assert_eq!(report.latency(id), Some(3));
+    }
+
+    #[test]
+    fn flooding_informs_every_tile() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12))
+            .seed(1)
+            .build();
+        let id = sim.inject(NodeId(0), NodeId(15), b"x".to_vec());
+        for _ in 0..7 {
+            sim.step();
+        }
+        assert_eq!(sim.informed_count(id), 16, "broadcast reaches all tiles");
+    }
+
+    #[test]
+    fn gossip_delivers_with_half_probability() {
+        let mut delivered = 0;
+        for seed in 0..20 {
+            let mut sim = SimulationBuilder::new(grid4())
+                .forward_probability(0.5)
+                .ttl(16)
+                .max_rounds(100)
+                .seed(seed)
+                .build();
+            let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+            let report = sim.run();
+            if report.delivered(id) {
+                delivered += 1;
+            }
+        }
+        assert!(delivered >= 19, "p=0.5 delivered only {delivered}/20");
+    }
+
+    #[test]
+    fn zero_probability_never_delivers_to_remote() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .forward_probability(0.0)
+            .max_rounds(50)
+            .seed(3)
+            .build();
+        let id = sim.inject(NodeId(0), NodeId(15), b"x".to_vec());
+        let report = sim.run();
+        assert!(!report.delivered(id));
+        assert_eq!(report.packets_sent, 0);
+    }
+
+    #[test]
+    fn self_addressed_messages_deliver_instantly() {
+        let mut sim = SimulationBuilder::new(grid4()).seed(4).build();
+        let id = sim.inject(NodeId(6), NodeId(6), b"me".to_vec());
+        assert!(sim.report().delivered(id));
+        assert_eq!(sim.report().latency(id), Some(0));
+    }
+
+    #[test]
+    fn ttl_bounds_total_traffic() {
+        let run = |ttl: u8| {
+            let mut sim = SimulationBuilder::new(grid4())
+                .config(StochasticConfig::flooding(ttl).with_max_rounds(60))
+                .seed(5)
+                .build();
+            sim.inject(NodeId(0), NodeId(15), b"x".to_vec());
+            sim.run().packets_sent
+        };
+        let short = run(4);
+        let long = run(16);
+        assert!(long > short, "higher ttl must generate more packets");
+        // With ttl t the broadcast lives t rounds; traffic is finite.
+        assert!(short > 0);
+    }
+
+    #[test]
+    fn energy_grows_with_forward_probability() {
+        let run = |p: f64| {
+            let mut sim = SimulationBuilder::new(grid4())
+                .forward_probability(p)
+                .ttl(10)
+                .max_rounds(40)
+                .seed(6)
+                .build();
+            sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+            sim.run().total_energy().joules()
+        };
+        let e25 = run(0.25);
+        let e100 = run(1.0);
+        assert!(
+            e100 > e25,
+            "flooding must dissipate more than p=0.25 ({e100} vs {e25})"
+        );
+    }
+
+    #[test]
+    fn dead_source_loses_the_message() {
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(5, 0);
+        let mut sim = SimulationBuilder::new(grid4())
+            .crash_schedule(schedule)
+            .seed(7)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        assert!(!report.delivered(id));
+    }
+
+    #[test]
+    fn gossip_routes_around_dead_tiles() {
+        // Kill two tiles off the direct path; the message still arrives.
+        let mut schedule = CrashSchedule::new();
+        schedule.kill_tile(3, 0).kill_tile(12, 0);
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12))
+            .crash_schedule(schedule)
+            .seed(8)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        assert!(report.delivered(id));
+    }
+
+    #[test]
+    fn partitioned_network_cannot_deliver() {
+        // Kill the middle columns entirely: 4x4 grid split between
+        // x<=0 and x>=2 when column 1 is dead... need both columns 1 and 2
+        // to separate 0 and 15? Column x=1 tiles: 1,5,9,13. Killing them
+        // separates x=0 from x>=2.
+        let mut schedule = CrashSchedule::new();
+        for t in [1usize, 5, 9, 13] {
+            schedule.kill_tile(t, 0);
+        }
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(20).with_max_rounds(60))
+            .crash_schedule(schedule)
+            .seed(9)
+            .build();
+        let id = sim.inject(NodeId(0), NodeId(15), b"x".to_vec());
+        let report = sim.run();
+        assert!(!report.delivered(id), "no path exists through a dead wall");
+    }
+
+    #[test]
+    fn upsets_are_detected_and_survived() {
+        let model = FaultModel::builder()
+            .p_upset(0.3)
+            .error_model(ErrorModel::RandomErrorVector)
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(16).with_max_rounds(80))
+            .fault_model(model)
+            .seed(10)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"payload".to_vec());
+        let report = sim.run();
+        assert!(report.delivered(id), "redundancy defeats 30% upsets");
+        assert!(report.upsets_detected > 0, "some upsets must have been caught");
+    }
+
+    #[test]
+    fn overflow_drops_are_counted() {
+        let model = FaultModel::builder().p_overflow(0.5).build().unwrap();
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12).with_max_rounds(60))
+            .fault_model(model)
+            .seed(11)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        assert!(report.overflow_drops > 0);
+        assert!(report.delivered(id), "50% overflow is survivable");
+    }
+
+    #[test]
+    fn structural_overflow_mode_also_works() {
+        let model = FaultModel::builder()
+            .overflow_mode(OverflowMode::Structural { capacity: 1 })
+            .build()
+            .unwrap();
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12).with_max_rounds(60))
+            .fault_model(model)
+            .seed(12)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        // Flooding generates multiple copies per round: a 1-deep buffer
+        // must overflow somewhere.
+        assert!(report.overflow_drops > 0);
+        assert!(report.delivered(id));
+    }
+
+    #[test]
+    fn synchronization_errors_cause_jitter_not_loss() {
+        let model = FaultModel::builder().sigma_synch(0.4).build().unwrap();
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(16).with_max_rounds(80))
+            .fault_model(model)
+            .seed(13)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+        let report = sim.run();
+        assert!(report.delivered(id), "sync errors alone never lose packets");
+        assert!(report.clock_slips > 0, "sigma=0.4 must cause slips");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed: u64| {
+            let model = FaultModel::builder()
+                .p_upset(0.2)
+                .p_overflow(0.1)
+                .build()
+                .unwrap();
+            let mut sim = SimulationBuilder::new(grid4())
+                .forward_probability(0.5)
+                .fault_model(model)
+                .seed(seed)
+                .max_rounds(60)
+                .build();
+            sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
+            let r = sim.run();
+            (r.packets_sent, r.upsets_detected, r.overflow_drops, r.rounds_executed)
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn step_stats_are_consistent() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(8))
+            .seed(14)
+            .build();
+        sim.inject(NodeId(0), NodeId(15), b"x".to_vec());
+        let s0 = sim.step();
+        assert_eq!(s0.round, 0);
+        assert!(s0.transmissions > 0, "source forwards in round 0");
+        let s1 = sim.step();
+        assert_eq!(s1.round, 1);
+        assert!(s1.transmissions >= s0.transmissions);
+    }
+
+    #[test]
+    fn report_totals_match_counters() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(6).with_max_rounds(30))
+            .seed(15)
+            .build();
+        sim.inject(NodeId(0), NodeId(15), b"four".to_vec());
+        let mut total = 0;
+        while sim.round() < 30 && !sim.is_complete() {
+            total += sim.step().transmissions;
+        }
+        let report = sim.into_report();
+        assert_eq!(report.packets_sent, total);
+        let frame_bits = 8 * (15 + 4 + 2) as u64; // header + payload + crc16
+        assert_eq!(report.bits_sent.bits(), total * frame_bits);
+    }
+
+    #[test]
+    fn ips_communicate_through_the_network() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        struct Producer {
+            to: NodeId,
+            sent: bool,
+        }
+        impl IpCore for Producer {
+            fn on_round(&mut self, ctx: &mut IpContext) {
+                if !self.sent {
+                    ctx.send(self.to, b"ping".to_vec());
+                    self.sent = true;
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.sent
+            }
+        }
+        struct Consumer {
+            got: Rc<RefCell<Option<u64>>>,
+        }
+        impl IpCore for Consumer {
+            fn on_message(&mut self, ctx: &mut IpContext, _from: NodeId, payload: &[u8]) {
+                if payload == b"ping" {
+                    *self.got.borrow_mut() = Some(ctx.round());
+                }
+            }
+            fn is_done(&self) -> bool {
+                self.got.borrow().is_some()
+            }
+        }
+
+        let got = Rc::new(RefCell::new(None));
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(12))
+            .with_ip(NodeId(5), Box::new(Producer { to: NodeId(11), sent: false }))
+            .with_ip(NodeId(11), Box::new(Consumer { got: Rc::clone(&got) }))
+            .seed(16)
+            .build();
+        let report = sim.run();
+        assert!(report.completed, "both IPs finished");
+        assert_eq!(*got.borrow(), Some(3), "ping crossed 3 hops in 3 rounds");
+    }
+
+    #[test]
+    fn square_grid_convenience() {
+        let sim = SimulationBuilder::square_grid(5).build();
+        assert_eq!(sim.node_count(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn mapping_ip_out_of_range_panics() {
+        let _ = SimulationBuilder::new(grid4()).with_ip(NodeId(99), Box::new(NullIp));
+    }
+
+    #[test]
+    fn egress_limit_throttles_a_node() {
+        // A 3-node line 0-1-2 where node 1 may forward one message per
+        // round: two simultaneous messages through it serialize.
+        let line = Topology::from_links(
+            "line",
+            3,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(1)),
+            ],
+        );
+        let run = |limit: Option<usize>| {
+            let mut builder = SimulationBuilder::new(line.clone())
+                .config(StochasticConfig::flooding(10).with_max_rounds(30))
+                .seed(1);
+            if let Some(l) = limit {
+                builder = builder.egress_limit(NodeId(1), l);
+            }
+            let mut sim = builder.build();
+            let a = sim.inject(NodeId(0), NodeId(2), vec![1]);
+            let b = sim.inject(NodeId(0), NodeId(2), vec![2]);
+            let report = sim.run();
+            (report.latency(a), report.latency(b))
+        };
+        let (ua, ub) = run(None);
+        assert_eq!((ua, ub), (Some(2), Some(2)), "unlimited: both in 2 hops");
+        let (la, lb) = run(Some(1));
+        let (la, lb) = (la.unwrap(), lb.unwrap());
+        assert_eq!(la.min(lb), 2, "one message still crosses immediately");
+        assert!(la.max(lb) > 2, "the other queued behind the limit");
+    }
+
+    #[test]
+    fn forward_probability_override_applies_per_node() {
+        // Global p = 0: nothing moves — except the source tile overridden
+        // to p = 1, whose neighbours still receive the message.
+        let mut sim = SimulationBuilder::new(grid4())
+            .forward_probability(0.0)
+            .ttl(6)
+            .max_rounds(10)
+            .forward_probability_at(NodeId(5), 1.0)
+            .seed(2)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(15), vec![1]);
+        sim.step();
+        sim.step();
+        // Tile 5's 4 neighbours (1, 4, 6, 9) are informed; nobody else
+        // forwards (their p is 0).
+        assert_eq!(sim.informed_count(id), 5);
+        assert!(sim.node_informed(NodeId(6), id));
+        assert!(!sim.node_informed(NodeId(15), id));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in [0, 1]")]
+    fn forward_override_validates_probability() {
+        let _ = SimulationBuilder::new(grid4()).forward_probability_at(NodeId(0), 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_egress_limit_rejected() {
+        let _ = SimulationBuilder::new(grid4()).egress_limit(NodeId(0), 0);
+    }
+
+    #[test]
+    fn termination_purges_buffers_after_delivery() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(
+                StochasticConfig::flooding(16)
+                    .with_max_rounds(40)
+                    .with_termination(true),
+            )
+            .seed(3)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), vec![1]);
+        let report = sim.run();
+        assert!(report.delivered(id));
+        // Flooding without termination would transmit for all 16 ttl
+        // rounds; with termination the spread dies right after round 3.
+        let links = 48u64; // 2*(4*3+4*3)
+        assert!(
+            report.packets_sent < 6 * links,
+            "termination left {} packets",
+            report.packets_sent
+        );
+    }
+
+    #[test]
+    fn run_with_history_matches_plain_run() {
+        let build = || {
+            let mut sim = SimulationBuilder::new(grid4())
+                .config(StochasticConfig::flooding(8).with_max_rounds(30))
+                .seed(21)
+                .build();
+            sim.inject(NodeId(0), NodeId(15), vec![1]);
+            sim
+        };
+        let plain = build().run();
+        let (report, history) = build().run_with_history();
+        assert_eq!(report.packets_sent, plain.packets_sent);
+        assert_eq!(history.len() as u64, report.rounds_executed);
+        let total: u64 = history.iter().map(|s| s.transmissions).sum();
+        assert_eq!(total, report.packets_sent);
+        // Traffic rises as the broadcast spreads, then dies with the ttl.
+        let peak = history.iter().map(|s| s.transmissions).max().unwrap();
+        assert!(peak > history[0].transmissions);
+        assert_eq!(history.last().unwrap().live_messages, 0);
+    }
+
+    #[test]
+    fn buffer_len_reports_live_messages() {
+        let mut sim = SimulationBuilder::new(grid4())
+            .config(StochasticConfig::flooding(8))
+            .seed(4)
+            .build();
+        assert_eq!(sim.buffer_len(NodeId(5)), 0);
+        sim.inject(NodeId(5), NodeId(11), vec![1]);
+        assert_eq!(sim.buffer_len(NodeId(5)), 1);
+        sim.step();
+        sim.step();
+        assert!(sim.buffer_len(NodeId(6)) >= 1, "neighbour holds a copy");
+    }
+}

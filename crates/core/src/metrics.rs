@@ -1,0 +1,265 @@
+//! Simulation outcome metrics: latency, traffic, energy, fault counters.
+
+use std::collections::HashMap;
+
+use noc_energy::{communication_energy, Bits, Joules, TechnologyLibrary};
+use noc_fabric::{MessageId, NodeId};
+use serde::Serialize;
+
+/// Lifecycle record of one logical message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MessageRecord {
+    /// The message's id.
+    pub id: MessageId,
+    /// Originating tile.
+    pub source: NodeId,
+    /// Destination tile.
+    pub destination: NodeId,
+    /// Round at which the message entered the network.
+    pub injected_round: u64,
+    /// Round at which the destination first received it, if ever.
+    pub delivered_round: Option<u64>,
+    /// Wire size of the message's frames.
+    pub frame_bits: Bits,
+}
+
+impl MessageRecord {
+    /// Delivery latency in rounds, if delivered.
+    pub fn latency(&self) -> Option<u64> {
+        self.delivered_round.map(|d| d - self.injected_round)
+    }
+}
+
+/// Aggregated result of a simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::{Grid2d, NodeId};
+/// use stochastic_noc::SimulationBuilder;
+///
+/// let mut sim = SimulationBuilder::new(Grid2d::new(4, 4)).seed(1).build();
+/// let m = sim.inject(NodeId(0), NodeId(15), vec![42]);
+/// let report = sim.run();
+/// assert_eq!(report.messages_injected(), 1);
+/// if report.delivered(m) {
+///     assert!(report.average_latency().unwrap() >= 1.0);
+/// }
+/// ```
+#[derive(Debug, Clone, Serialize)]
+pub struct SimulationReport {
+    /// Rounds executed before stopping.
+    pub rounds_executed: u64,
+    /// True if the run stopped because every IP reported done (rather
+    /// than exhausting the round budget).
+    pub completed: bool,
+    /// Total frame transmissions over links (each hop counts).
+    pub packets_sent: u64,
+    /// Total bits moved over links.
+    pub bits_sent: Bits,
+    /// Packets discarded by the receive-side CRC check (detected upsets).
+    pub upsets_detected: u64,
+    /// Scrambled packets that passed the CRC check (residual errors).
+    pub upsets_undetected: u64,
+    /// Packets lost to buffer overflow (probabilistic or structural).
+    pub overflow_drops: u64,
+    /// Packets lost because they arrived at a dead tile or crossed a dead
+    /// link.
+    pub crash_drops: u64,
+    /// Round-boundary slips caused by synchronization errors.
+    pub clock_slips: u64,
+    /// Messages garbage-collected by TTL expiry, summed over all tiles.
+    pub ttl_expirations: u64,
+    /// Per-message lifecycle records.
+    records: HashMap<MessageId, MessageRecord>,
+    /// Technology used for energy conversion.
+    tech: TechnologyLibrary,
+}
+
+impl SimulationReport {
+    /// Creates an empty report (engine-side constructor).
+    pub fn new(tech: TechnologyLibrary) -> Self {
+        Self {
+            rounds_executed: 0,
+            completed: false,
+            packets_sent: 0,
+            bits_sent: Bits(0),
+            upsets_detected: 0,
+            upsets_undetected: 0,
+            overflow_drops: 0,
+            crash_drops: 0,
+            clock_slips: 0,
+            ttl_expirations: 0,
+            records: HashMap::new(),
+            tech,
+        }
+    }
+
+    /// Registers an injected message (engine-side).
+    pub fn record_injection(&mut self, record: MessageRecord) {
+        self.records.insert(record.id, record);
+    }
+
+    /// Marks first delivery of a message (engine-side). Later calls for
+    /// the same id are ignored.
+    pub fn record_delivery(&mut self, id: MessageId, round: u64) {
+        if let Some(r) = self.records.get_mut(&id) {
+            if r.delivered_round.is_none() {
+                r.delivered_round = Some(round);
+            }
+        }
+    }
+
+    /// Number of messages injected into the network.
+    pub fn messages_injected(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Number of messages that reached their destination.
+    pub fn messages_delivered(&self) -> usize {
+        self.records
+            .values()
+            .filter(|r| r.delivered_round.is_some())
+            .count()
+    }
+
+    /// Fraction of injected messages delivered (1.0 for an empty run).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.records.is_empty() {
+            1.0
+        } else {
+            self.messages_delivered() as f64 / self.records.len() as f64
+        }
+    }
+
+    /// Was this message delivered?
+    pub fn delivered(&self, id: MessageId) -> bool {
+        self.records
+            .get(&id)
+            .is_some_and(|r| r.delivered_round.is_some())
+    }
+
+    /// Latency in rounds of a delivered message.
+    pub fn latency(&self, id: MessageId) -> Option<u64> {
+        self.records.get(&id).and_then(MessageRecord::latency)
+    }
+
+    /// The record of a message.
+    pub fn record(&self, id: MessageId) -> Option<&MessageRecord> {
+        self.records.get(&id)
+    }
+
+    /// Iterates over all message records.
+    pub fn records(&self) -> impl Iterator<Item = &MessageRecord> {
+        self.records.values()
+    }
+
+    /// Mean delivery latency over delivered messages, in rounds.
+    pub fn average_latency(&self) -> Option<f64> {
+        let latencies: Vec<u64> = self
+            .records
+            .values()
+            .filter_map(MessageRecord::latency)
+            .collect();
+        if latencies.is_empty() {
+            None
+        } else {
+            Some(latencies.iter().sum::<u64>() as f64 / latencies.len() as f64)
+        }
+    }
+
+    /// Worst delivery latency over delivered messages, in rounds.
+    pub fn max_latency(&self) -> Option<u64> {
+        self.records.values().filter_map(MessageRecord::latency).max()
+    }
+
+    /// Total communication energy under Equation 3.
+    pub fn total_energy(&self) -> Joules {
+        communication_energy(self.bits_sent.bits(), Bits(1), self.tech.energy_per_bit)
+    }
+
+    /// The technology point energy figures use.
+    pub fn technology(&self) -> &TechnologyLibrary {
+        &self.tech
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, injected: u64) -> MessageRecord {
+        MessageRecord {
+            id: MessageId(id),
+            source: NodeId(0),
+            destination: NodeId(1),
+            injected_round: injected,
+            delivered_round: None,
+            frame_bits: Bits(100),
+        }
+    }
+
+    fn report() -> SimulationReport {
+        SimulationReport::new(TechnologyLibrary::NOC_LINK_0_25UM)
+    }
+
+    #[test]
+    fn empty_report_statistics() {
+        let r = report();
+        assert_eq!(r.messages_injected(), 0);
+        assert_eq!(r.delivery_ratio(), 1.0);
+        assert_eq!(r.average_latency(), None);
+        assert_eq!(r.max_latency(), None);
+        assert_eq!(r.total_energy(), Joules::ZERO);
+    }
+
+    #[test]
+    fn delivery_bookkeeping() {
+        let mut r = report();
+        r.record_injection(record(1, 2));
+        r.record_injection(record(2, 0));
+        r.record_delivery(MessageId(1), 5);
+        assert!(r.delivered(MessageId(1)));
+        assert!(!r.delivered(MessageId(2)));
+        assert_eq!(r.latency(MessageId(1)), Some(3));
+        assert_eq!(r.delivery_ratio(), 0.5);
+        assert_eq!(r.average_latency(), Some(3.0));
+        assert_eq!(r.max_latency(), Some(3));
+    }
+
+    #[test]
+    fn first_delivery_wins() {
+        let mut r = report();
+        r.record_injection(record(1, 0));
+        r.record_delivery(MessageId(1), 4);
+        r.record_delivery(MessageId(1), 9);
+        assert_eq!(r.latency(MessageId(1)), Some(4));
+    }
+
+    #[test]
+    fn delivery_of_unknown_message_is_ignored() {
+        let mut r = report();
+        r.record_delivery(MessageId(42), 1);
+        assert!(!r.delivered(MessageId(42)));
+        assert_eq!(r.messages_injected(), 0);
+    }
+
+    #[test]
+    fn energy_follows_bits_sent() {
+        let mut r = report();
+        r.bits_sent = Bits(1_000);
+        let expect = 1000.0 * 2.4e-10;
+        assert!((r.total_energy().joules() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn average_over_multiple_messages() {
+        let mut r = report();
+        for (id, inj, del) in [(1, 0, 2), (2, 0, 4), (3, 1, 7)] {
+            r.record_injection(record(id, inj));
+            r.record_delivery(MessageId(id), del);
+        }
+        assert_eq!(r.average_latency(), Some((2.0 + 4.0 + 6.0) / 3.0));
+        assert_eq!(r.max_latency(), Some(6));
+    }
+}

@@ -1,0 +1,206 @@
+//! Round-by-round tracing of a gossip spread — the programmatic
+//! equivalent of the paper's Stateflow animation (Figure 4-1), including
+//! an ASCII rendering of which grid tiles know a message.
+
+use noc_fabric::{Grid2d, MessageId, NodeId};
+
+use crate::engine::{RoundStats, Simulation};
+
+/// Snapshot of the network at the end of one round, relative to one
+/// tracked message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundSnapshot {
+    /// The round that was executed.
+    pub round: u64,
+    /// Which tiles have seen the tracked message.
+    pub informed: Vec<bool>,
+    /// Number of informed tiles.
+    pub informed_count: usize,
+    /// Live messages buffered per tile (all messages, not only the
+    /// tracked one).
+    pub buffer_occupancy: Vec<usize>,
+    /// Frames transmitted during the round.
+    pub transmissions: u64,
+    /// Whether the tracked message had been delivered by this round.
+    pub delivered: bool,
+}
+
+/// Records one snapshot per executed round for a tracked message.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::{Grid2d, NodeId};
+/// use stochastic_noc::{SimulationBuilder, SpreadTrace, StochasticConfig};
+///
+/// let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+///     .config(StochasticConfig::flooding(8).with_max_rounds(20))
+///     .seed(1)
+///     .build();
+/// let id = sim.inject(NodeId(5), NodeId(11), vec![1]);
+/// let trace = SpreadTrace::record(&mut sim, id, 20);
+/// assert_eq!(trace.snapshots()[0].informed_count, 1);
+/// assert!(trace.delivery_round().is_some());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SpreadTrace {
+    message: MessageId,
+    snapshots: Vec<RoundSnapshot>,
+}
+
+impl SpreadTrace {
+    /// Steps `sim` for up to `max_rounds` rounds (or until completion),
+    /// snapshotting the state of `message` after each round. The first
+    /// snapshot (round marker `u64::MAX` is never used — snapshot 0 is
+    /// the pre-run state at the current round).
+    pub fn record(sim: &mut Simulation, message: MessageId, max_rounds: u64) -> Self {
+        let mut snapshots = vec![Self::snapshot(sim, message, sim.round(), 0)];
+        let start = sim.round();
+        while !sim.is_complete() && sim.round() < start + max_rounds {
+            let stats: RoundStats = sim.step();
+            snapshots.push(Self::snapshot(sim, message, stats.round, stats.transmissions));
+        }
+        Self { message, snapshots }
+    }
+
+    fn snapshot(
+        sim: &Simulation,
+        message: MessageId,
+        round: u64,
+        transmissions: u64,
+    ) -> RoundSnapshot {
+        let n = sim.node_count();
+        let informed: Vec<bool> = (0..n)
+            .map(|i| sim.node_informed(NodeId(i), message))
+            .collect();
+        let informed_count = informed.iter().filter(|&&b| b).count();
+        RoundSnapshot {
+            round,
+            informed,
+            informed_count,
+            buffer_occupancy: (0..n).map(|i| sim.buffer_len(NodeId(i))).collect(),
+            transmissions,
+            delivered: sim.report().delivered(message),
+        }
+    }
+
+    /// The tracked message.
+    pub fn message(&self) -> MessageId {
+        self.message
+    }
+
+    /// All recorded snapshots (the first is the pre-run state).
+    pub fn snapshots(&self) -> &[RoundSnapshot] {
+        &self.snapshots
+    }
+
+    /// The informed-count curve, one entry per snapshot — directly
+    /// comparable to Figure 3-1's spread curves.
+    pub fn informed_curve(&self) -> Vec<usize> {
+        self.snapshots.iter().map(|s| s.informed_count).collect()
+    }
+
+    /// First snapshot index at which the message was delivered, if any.
+    pub fn delivery_round(&self) -> Option<u64> {
+        self.snapshots
+            .iter()
+            .find(|s| s.delivered)
+            .map(|s| s.round)
+    }
+
+    /// Renders one snapshot as an ASCII grid: `#` informed, `.` not,
+    /// `D`/`d` the (informed/uninformed) destination tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot index is out of range or the grid shape
+    /// does not match the traced network.
+    pub fn render_grid(&self, grid: &Grid2d, snapshot: usize, destination: NodeId) -> String {
+        let snap = &self.snapshots[snapshot];
+        assert_eq!(
+            snap.informed.len(),
+            grid.width() * grid.height(),
+            "grid shape does not match the traced network"
+        );
+        let mut out = String::new();
+        for y in 0..grid.height() {
+            for x in 0..grid.width() {
+                let node = grid.node_at(x, y);
+                let informed = snap.informed[node.index()];
+                out.push(match (node == destination, informed) {
+                    (true, true) => 'D',
+                    (true, false) => 'd',
+                    (false, true) => '#',
+                    (false, false) => '.',
+                });
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SimulationBuilder, StochasticConfig};
+
+    fn traced() -> (SpreadTrace, Grid2d, NodeId) {
+        let grid = Grid2d::new(4, 4);
+        let mut sim = SimulationBuilder::new(grid.clone())
+            .config(StochasticConfig::flooding(10).with_max_rounds(20))
+            .seed(9)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), vec![1]);
+        (SpreadTrace::record(&mut sim, id, 20), grid, NodeId(11))
+    }
+
+    #[test]
+    fn trace_starts_with_only_the_source_informed() {
+        let (trace, _, _) = traced();
+        assert_eq!(trace.snapshots()[0].informed_count, 1);
+        assert!(trace.snapshots()[0].informed[5]);
+        assert!(!trace.snapshots()[0].delivered);
+    }
+
+    #[test]
+    fn informed_curve_is_monotone_and_saturates_under_flooding() {
+        let (trace, _, _) = traced();
+        let curve = trace.informed_curve();
+        assert!(curve.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(*curve.last().unwrap(), 16, "flooding informs all tiles");
+    }
+
+    #[test]
+    fn delivery_round_matches_report() {
+        let (trace, _, _) = traced();
+        assert_eq!(trace.delivery_round(), Some(3), "3 hops under flooding");
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let (trace, grid, dst) = traced();
+        let art = trace.render_grid(&grid, 0, dst);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Initially: source informed, destination not yet.
+        assert_eq!(art.matches('#').count(), 1);
+        assert_eq!(art.matches('d').count(), 1);
+        // Final: everyone informed, destination marked 'D'.
+        let last = trace.render_grid(&grid, trace.snapshots().len() - 1, dst);
+        assert_eq!(last.matches('#').count(), 15);
+        assert_eq!(last.matches('D').count(), 1);
+        assert_eq!(last.matches('.').count(), 0);
+    }
+
+    #[test]
+    fn buffer_occupancy_drains_by_ttl() {
+        let (trace, _, _) = traced();
+        let final_snap = trace.snapshots().last().unwrap();
+        assert!(
+            final_snap.buffer_occupancy.iter().all(|&b| b == 0),
+            "all buffers drained after ttl expiry"
+        );
+    }
+}

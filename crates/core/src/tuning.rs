@@ -1,0 +1,241 @@
+//! Designer-facing tuning of the protocol knobs.
+//!
+//! The paper's headline flexibility claim is that `p` and the TTL "can
+//! be used to tune the trade-off between performance and energy
+//! consumption". This module turns that into an API: Monte-Carlo
+//! estimation of the delivery probability and cost of a `(p, ttl)`
+//! configuration on a given topology, and a search for the cheapest
+//! configuration meeting a reliability target.
+
+use noc_fabric::{NodeId, Topology};
+
+use crate::config::StochasticConfig;
+use crate::engine::SimulationBuilder;
+
+/// Estimated behaviour of one `(p, ttl)` point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuningPoint {
+    /// Forwarding probability evaluated.
+    pub p: f64,
+    /// TTL evaluated.
+    pub ttl: u8,
+    /// Fraction of trials in which the probe message was delivered.
+    pub delivery_probability: f64,
+    /// Mean delivery latency in rounds (over delivered trials).
+    pub mean_latency: Option<f64>,
+    /// Mean packets transmitted per trial (the energy proxy of Eq. 3).
+    pub mean_packets: f64,
+}
+
+/// Monte-Carlo estimate of delivery probability, latency and traffic
+/// for a single `source → destination` message under `(p, ttl)`.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero, the endpoints are outside the topology,
+/// or the configuration is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::{NodeId, Topology};
+/// use stochastic_noc::tuning::evaluate;
+///
+/// let grid = Topology::grid(4, 4);
+/// let point = evaluate(&grid, NodeId(5), NodeId(11), 0.5, 12, 20, 7);
+/// assert!(point.delivery_probability > 0.8);
+/// ```
+pub fn evaluate(
+    topology: &Topology,
+    source: NodeId,
+    destination: NodeId,
+    p: f64,
+    ttl: u8,
+    trials: u32,
+    seed: u64,
+) -> TuningPoint {
+    assert!(trials > 0, "at least one trial required");
+    let config = StochasticConfig::new(p, ttl)
+        .unwrap_or_else(|e| panic!("invalid tuning point: {e}"))
+        .with_max_rounds(ttl as u64 + 4);
+    let mut delivered = 0u32;
+    let mut latency_sum = 0u64;
+    let mut packets_sum = 0u64;
+    for trial in 0..trials {
+        let mut sim = SimulationBuilder::new(topology.clone())
+            .config(config)
+            .seed(seed.wrapping_mul(1_000_003).wrapping_add(trial as u64))
+            .build();
+        let id = sim.inject(source, destination, vec![0u8; 8]);
+        let report = sim.run();
+        if let Some(l) = report.latency(id) {
+            delivered += 1;
+            latency_sum += l;
+        }
+        packets_sum += report.packets_sent;
+    }
+    TuningPoint {
+        p,
+        ttl,
+        delivery_probability: delivered as f64 / trials as f64,
+        mean_latency: if delivered > 0 {
+            Some(latency_sum as f64 / delivered as f64)
+        } else {
+            None
+        },
+        mean_packets: packets_sum as f64 / trials as f64,
+    }
+}
+
+/// Searches the `(p, ttl)` grid for the cheapest configuration (fewest
+/// packets, the Equation 3 energy proxy) whose estimated delivery
+/// probability meets `target_reliability`, evaluating the worst-case
+/// node pair (a diameter-separated source/destination).
+///
+/// Returns `None` if no candidate on the grid meets the target.
+///
+/// # Panics
+///
+/// Panics if the topology is disconnected, the target is not a
+/// probability, or either candidate list is empty.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::Topology;
+/// use stochastic_noc::tuning::recommend;
+///
+/// let grid = Topology::grid(4, 4);
+/// let choice = recommend(&grid, 0.9, &[0.5, 0.75, 1.0], &[6, 10, 14], 12, 3)
+///     .expect("some configuration reaches 90%");
+/// assert!(choice.delivery_probability >= 0.9);
+/// ```
+pub fn recommend(
+    topology: &Topology,
+    target_reliability: f64,
+    p_candidates: &[f64],
+    ttl_candidates: &[u8],
+    trials: u32,
+    seed: u64,
+) -> Option<TuningPoint> {
+    assert!(
+        (0.0..=1.0).contains(&target_reliability),
+        "target must be a probability"
+    );
+    assert!(
+        !p_candidates.is_empty() && !ttl_candidates.is_empty(),
+        "candidate lists cannot be empty"
+    );
+    let (source, destination) = worst_case_pair(topology);
+    let mut best: Option<TuningPoint> = None;
+    for &p in p_candidates {
+        for &ttl in ttl_candidates {
+            let point = evaluate(topology, source, destination, p, ttl, trials, seed);
+            if point.delivery_probability + 1e-12 >= target_reliability {
+                let better = match &best {
+                    None => true,
+                    Some(b) => point.mean_packets < b.mean_packets,
+                };
+                if better {
+                    best = Some(point);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// A diameter-separated node pair (the hardest unicast in the fabric).
+///
+/// # Panics
+///
+/// Panics if the topology is disconnected.
+pub fn worst_case_pair(topology: &Topology) -> (NodeId, NodeId) {
+    let mut best = (NodeId(0), NodeId(0), 0usize);
+    for a in topology.nodes() {
+        for b in topology.nodes() {
+            let d = topology
+                .hop_distance(a, b)
+                .expect("tuning requires a connected topology");
+            if d > best.2 {
+                best = (a, b, d);
+            }
+        }
+    }
+    (best.0, best.1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_pair_spans_the_diameter() {
+        let grid = Topology::grid(4, 4);
+        let (a, b) = worst_case_pair(&grid);
+        assert_eq!(grid.hop_distance(a, b), Some(6));
+    }
+
+    #[test]
+    fn flooding_with_ample_ttl_is_fully_reliable() {
+        let grid = Topology::grid(4, 4);
+        let point = evaluate(&grid, NodeId(0), NodeId(15), 1.0, 8, 10, 1);
+        assert_eq!(point.delivery_probability, 1.0);
+        assert_eq!(point.mean_latency, Some(6.0));
+    }
+
+    #[test]
+    fn ttl_below_distance_never_delivers() {
+        let grid = Topology::grid(4, 4);
+        // 6 hops needed; ttl 4 cannot reach even under flooding.
+        let point = evaluate(&grid, NodeId(0), NodeId(15), 1.0, 4, 10, 2);
+        assert_eq!(point.delivery_probability, 0.0);
+        assert_eq!(point.mean_latency, None);
+    }
+
+    #[test]
+    fn higher_p_is_more_reliable_at_fixed_ttl() {
+        let grid = Topology::grid(4, 4);
+        let low = evaluate(&grid, NodeId(0), NodeId(15), 0.3, 8, 30, 3);
+        let high = evaluate(&grid, NodeId(0), NodeId(15), 0.9, 8, 30, 3);
+        assert!(
+            high.delivery_probability >= low.delivery_probability,
+            "p=0.9 {} vs p=0.3 {}",
+            high.delivery_probability,
+            low.delivery_probability
+        );
+    }
+
+    #[test]
+    fn recommend_meets_the_target_and_minimizes_traffic() {
+        let grid = Topology::grid(4, 4);
+        let choice = recommend(&grid, 0.9, &[0.5, 0.75, 1.0], &[8, 12], 15, 4)
+            .expect("some candidate reaches 90%");
+        assert!(choice.delivery_probability >= 0.9);
+        // Every other qualifying candidate transmits at least as much.
+        for &p in &[0.5, 0.75, 1.0] {
+            for &ttl in &[8u8, 12] {
+                let (s, d) = worst_case_pair(&grid);
+                let point = evaluate(&grid, s, d, p, ttl, 15, 4);
+                if point.delivery_probability >= 0.9 {
+                    assert!(point.mean_packets + 1e-9 >= choice.mean_packets);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_target_returns_none() {
+        let grid = Topology::grid(4, 4);
+        // ttl 2 cannot cross 6 hops no matter what p is.
+        let choice = recommend(&grid, 0.5, &[1.0], &[2], 5, 5);
+        assert!(choice.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let grid = Topology::grid(2, 2);
+        let _ = evaluate(&grid, NodeId(0), NodeId(3), 0.5, 8, 0, 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! Framing payloads with an appended CRC tag, and verifying them.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::{CrcAlgorithm, CrcParams, TableCrc};
+
+/// Encodes payloads as `payload || crc` and verifies/strips the tag on
+/// receive — the per-tile check of the stochastic communication protocol.
+///
+/// # Examples
+///
+/// ```
+/// use noc_crc::{CrcParams, PacketCodec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let codec = PacketCodec::new(CrcParams::CRC16_CCITT);
+/// let framed = codec.encode(b"hello tile 12");
+/// let payload = codec.decode(&framed)?;
+/// assert_eq!(payload, b"hello tile 12");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PacketCodec {
+    crc: TableCrc,
+}
+
+/// Error returned by [`PacketCodec::decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame is shorter than the CRC tag itself.
+    TooShort {
+        /// Observed frame length in bytes.
+        len: usize,
+        /// Minimum length (the tag size) in bytes.
+        min: usize,
+    },
+    /// The recomputed CRC did not match the received tag: the packet was
+    /// scrambled in flight and must be discarded.
+    CrcMismatch {
+        /// CRC recomputed over the received payload.
+        computed: u64,
+        /// CRC tag carried by the frame.
+        received: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::TooShort { len, min } => {
+                write!(f, "frame of {len} bytes shorter than {min}-byte crc tag")
+            }
+            DecodeError::CrcMismatch { computed, received } => {
+                write!(f, "crc mismatch: computed {computed:#x}, received {received:#x}")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl PacketCodec {
+    /// Creates a codec using the given CRC parameter set.
+    pub fn new(params: CrcParams) -> Self {
+        Self {
+            crc: TableCrc::new(params),
+        }
+    }
+
+    /// The parameter set in use.
+    pub fn params(&self) -> &CrcParams {
+        self.crc.params()
+    }
+
+    /// Number of overhead bytes appended to each payload.
+    pub fn overhead_bytes(&self) -> usize {
+        self.crc.params().tag_bytes()
+    }
+
+    /// Frames `payload`, returning `payload || crc_tag` (big-endian tag).
+    pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
+        let tag = self.crc.checksum(payload);
+        let n = self.overhead_bytes();
+        let mut out = Vec::with_capacity(payload.len() + n);
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&tag.to_be_bytes()[8 - n..]);
+        out
+    }
+
+    /// Checks whether `frame` carries a consistent CRC tag.
+    pub fn verify(&self, frame: &[u8]) -> bool {
+        self.decode(frame).is_ok()
+    }
+
+    /// Verifies `frame` and returns the payload with the tag stripped.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::TooShort`] if the frame cannot even hold the tag;
+    /// [`DecodeError::CrcMismatch`] if the recomputed CRC differs from the
+    /// carried tag (the packet experienced a data upset).
+    pub fn decode<'a>(&self, frame: &'a [u8]) -> Result<&'a [u8], DecodeError> {
+        let n = self.overhead_bytes();
+        if frame.len() < n {
+            return Err(DecodeError::TooShort {
+                len: frame.len(),
+                min: n,
+            });
+        }
+        let (payload, tag_bytes) = frame.split_at(frame.len() - n);
+        let mut tag = 0u64;
+        for &b in tag_bytes {
+            tag = tag << 8 | b as u64;
+        }
+        let computed = self.crc.checksum(payload);
+        if computed != tag {
+            return Err(DecodeError::CrcMismatch {
+                computed,
+                received: tag,
+            });
+        }
+        Ok(payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn too_short_frames_are_rejected() {
+        let codec = PacketCodec::new(CrcParams::CRC32);
+        assert_eq!(
+            codec.decode(&[0xAB]),
+            Err(DecodeError::TooShort { len: 1, min: 4 })
+        );
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let codec = PacketCodec::new(CrcParams::CRC16_CCITT);
+        let framed = codec.encode(&[]);
+        assert_eq!(framed.len(), 2);
+        assert_eq!(codec.decode(&framed).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = DecodeError::CrcMismatch {
+            computed: 0xAB,
+            received: 0xCD,
+        };
+        let s = e.to_string();
+        assert!(s.contains("0xab") && s.contains("0xcd"));
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_round_trips(payload in proptest::collection::vec(any::<u8>(), 0..200)) {
+            for &params in CrcParams::ALL {
+                let codec = PacketCodec::new(params);
+                let framed = codec.encode(&payload);
+                prop_assert_eq!(codec.decode(&framed).unwrap(), payload.as_slice());
+            }
+        }
+
+        #[test]
+        fn any_single_bit_flip_is_detected(
+            payload in proptest::collection::vec(any::<u8>(), 1..64),
+            flip_bit in 0usize..512,
+        ) {
+            let codec = PacketCodec::new(CrcParams::CRC16_CCITT);
+            let mut framed = codec.encode(&payload);
+            let nbits = framed.len() * 8;
+            let bit = flip_bit % nbits;
+            framed[bit / 8] ^= 1 << (bit % 8);
+            prop_assert!(!codec.verify(&framed));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Radix-2 Cooley–Tukey FFT, 1-D and 2-D.
+//!
+//! The divide-and-conquer scheme of §4.1.2 (Equation 5): the DFT of `N`
+//! samples splits into the DFTs of the even- and odd-indexed halves,
+//! reducing `O(N²)` work to `O(N log N)`. The iterative in-place
+//! bit-reversal formulation below is algebraically identical to the
+//! recursive tree the paper maps onto the NoC.
+
+use crate::complex::Complex64;
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two (radix-2 requirement) or is
+/// zero.
+///
+/// # Examples
+///
+/// ```
+/// use noc_dsp::{fft, Complex64};
+///
+/// // The FFT of a constant signal is an impulse at DC:
+/// let mut data = vec![Complex64::ONE; 8];
+/// fft(&mut data);
+/// assert!((data[0].re - 8.0).abs() < 1e-12);
+/// assert!(data[1..].iter().all(|z| z.abs() < 1e-12));
+/// ```
+pub fn fft(data: &mut [Complex64]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (normalized by `1/N`, so `ifft(fft(x)) == x`).
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two or is zero.
+pub fn ifft(data: &mut [Complex64]) {
+    fft_dir(data, true);
+    let scale = 1.0 / data.len() as f64;
+    for z in data.iter_mut() {
+        *z = z.scale(scale);
+    }
+}
+
+fn fft_dir(data: &mut [Complex64], inverse: bool) {
+    let n = data.len();
+    assert!(n > 0, "fft of an empty buffer");
+    assert!(n.is_power_of_two(), "fft length {n} is not a power of two");
+    if n == 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    // Iterative butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Complex64::from_polar(1.0, theta);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex64::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let even = chunk[k];
+                let odd = chunk[k + half] * w;
+                chunk[k] = even + odd;
+                chunk[k + half] = even - odd;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Textbook `O(N²)` DFT, used as the FFT's test oracle.
+pub fn dft_naive(data: &[Complex64]) -> Vec<Complex64> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex64::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let theta = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc += x * Complex64::from_polar(1.0, theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+/// In-place 2-D FFT of a row-major `rows × cols` matrix: the FFT2
+/// workload of §4.1.2 (Equation 5 applied to both dimensions).
+///
+/// # Panics
+///
+/// Panics if `data.len() != rows * cols` or either dimension is not a
+/// power of two.
+pub fn fft2d(data: &mut [Complex64], rows: usize, cols: usize) {
+    fft2d_dir(data, rows, cols, false);
+}
+
+/// In-place inverse 2-D FFT (normalized, so `ifft2d(fft2d(x)) == x`).
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`fft2d`].
+pub fn ifft2d(data: &mut [Complex64], rows: usize, cols: usize) {
+    fft2d_dir(data, rows, cols, true);
+}
+
+fn fft2d_dir(data: &mut [Complex64], rows: usize, cols: usize, inverse: bool) {
+    assert_eq!(data.len(), rows * cols, "matrix shape mismatch");
+    let transform: fn(&mut [Complex64]) = if inverse { ifft } else { fft };
+    // Rows in place.
+    for r in 0..rows {
+        transform(&mut data[r * cols..(r + 1) * cols]);
+    }
+    // Columns via gather/scatter.
+    let mut column = vec![Complex64::ZERO; rows];
+    for c in 0..cols {
+        for r in 0..rows {
+            column[r] = data[r * cols + c];
+        }
+        transform(&mut column);
+        for r in 0..rows {
+            data[r * cols + c] = column[r];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex64, b: Complex64, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex64::ZERO; 16];
+        data[0] = Complex64::ONE;
+        fft(&mut data);
+        assert!(data.iter().all(|z| close(*z, Complex64::ONE, 1e-12)));
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<Complex64> = (0..n)
+            .map(|j| {
+                Complex64::from_polar(1.0, 2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64)
+            })
+            .collect();
+        fft(&mut data);
+        for (k, z) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((z.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(z.abs() < 1e-9, "leakage at bin {k}: {}", z.abs());
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let data: Vec<Complex64> = (0..32)
+            .map(|j| Complex64::new((j as f64 * 0.37).sin(), (j as f64 * 0.11).cos()))
+            .collect();
+        let oracle = dft_naive(&data);
+        let mut fast = data;
+        fft(&mut fast);
+        for (a, b) in fast.iter().zip(&oracle) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let data: Vec<Complex64> = (0..128)
+            .map(|j| Complex64::new((j as f64).sin(), (j as f64 * 0.5).cos()))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sqr()).sum();
+        let mut spec = data;
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sqr()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-12);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut data = vec![Complex64::new(3.0, -1.0)];
+        fft(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -1.0));
+        ifft(&mut data);
+        assert_eq!(data[0], Complex64::new(3.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex64::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fft_panics() {
+        fft(&mut []);
+    }
+
+    #[test]
+    fn fft2d_separable_tone() {
+        // A 2-D complex exponential concentrates into a single 2-D bin.
+        let (rows, cols) = (8, 16);
+        let (k0, l0) = (3, 5);
+        let mut data: Vec<Complex64> = (0..rows * cols)
+            .map(|i| {
+                let (r, c) = (i / cols, i % cols);
+                let phase = 2.0 * std::f64::consts::PI
+                    * ((k0 * r) as f64 / rows as f64 + (l0 * c) as f64 / cols as f64);
+                Complex64::from_polar(1.0, phase)
+            })
+            .collect();
+        fft2d(&mut data, rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let z = data[r * cols + c];
+                if (r, c) == (k0, l0) {
+                    assert!((z.abs() - (rows * cols) as f64).abs() < 1e-8);
+                } else {
+                    assert!(z.abs() < 1e-8, "leakage at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn fft2d_shape_checked() {
+        let mut data = vec![Complex64::ZERO; 10];
+        fft2d(&mut data, 4, 4);
+    }
+
+    proptest! {
+        #[test]
+        fn ifft_inverts_fft(
+            values in proptest::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..6)
+        ) {
+            // Round the length up to a power of two by padding with zeros.
+            let n = values.len().next_power_of_two().max(2);
+            let mut data: Vec<Complex64> = values
+                .iter()
+                .map(|&(re, im)| Complex64::new(re, im))
+                .chain(std::iter::repeat(Complex64::ZERO))
+                .take(n)
+                .collect();
+            let original = data.clone();
+            fft(&mut data);
+            ifft(&mut data);
+            for (a, b) in data.iter().zip(&original) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+
+        #[test]
+        fn fft_is_linear(
+            re_a in -10.0f64..10.0,
+            re_b in -10.0f64..10.0,
+        ) {
+            let x: Vec<Complex64> = (0..16).map(|j| Complex64::from_re((j as f64 * 0.3).sin())).collect();
+            let y: Vec<Complex64> = (0..16).map(|j| Complex64::from_re((j as f64 * 0.7).cos())).collect();
+            let combo: Vec<Complex64> = x.iter().zip(&y)
+                .map(|(&a, &b)| a.scale(re_a) + b.scale(re_b))
+                .collect();
+            let mut fx = x; fft(&mut fx);
+            let mut fy = y; fft(&mut fy);
+            let mut fc = combo; fft(&mut fc);
+            for k in 0..16 {
+                let expect = fx[k].scale(re_a) + fy[k].scale(re_b);
+                prop_assert!((fc[k] - expect).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn ifft2d_inverts_fft2d(seed in 0u64..1000) {
+            let (rows, cols) = (4, 8);
+            let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            };
+            let data: Vec<Complex64> = (0..rows * cols)
+                .map(|_| Complex64::new(next(), next()))
+                .collect();
+            let mut work = data.clone();
+            fft2d(&mut work, rows, cols);
+            ifft2d(&mut work, rows, cols);
+            for (a, b) in work.iter().zip(&data) {
+                prop_assert!((*a - *b).abs() < 1e-9);
+            }
+        }
+    }
+}

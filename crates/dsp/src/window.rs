@@ -1,0 +1,82 @@
+//! Analysis/synthesis windows.
+
+/// The Hann window of length `n`: `w[j] = 0.5 (1 − cos(2πj/(n−1)))`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_dsp::hann_window;
+///
+/// let w = hann_window(8);
+/// assert_eq!(w.len(), 8);
+/// assert!(w[0].abs() < 1e-12 && (w[7]).abs() < 1e-12);
+/// ```
+pub fn hann_window(n: usize) -> Vec<f64> {
+    assert!(n >= 2, "window needs at least two points");
+    (0..n)
+        .map(|j| 0.5 * (1.0 - (2.0 * std::f64::consts::PI * j as f64 / (n - 1) as f64).cos()))
+        .collect()
+}
+
+/// The MDCT sine window of length `n`:
+/// `w[j] = sin(π/n (j + 0.5))`.
+///
+/// Satisfies the Princen–Bradley condition `w[j]² + w[j + n/2]² = 1`,
+/// which makes the windowed MDCT with 50% overlap perfectly
+/// reconstructing.
+///
+/// # Panics
+///
+/// Panics if `n` is zero or odd.
+pub fn sine_window(n: usize) -> Vec<f64> {
+    assert!(n > 0 && n.is_multiple_of(2), "sine window length must be positive and even");
+    (0..n)
+        .map(|j| (std::f64::consts::PI / n as f64 * (j as f64 + 0.5)).sin())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hann_peaks_at_center() {
+        let w = hann_window(33);
+        assert!((w[16] - 1.0).abs() < 1e-12);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn hann_is_symmetric() {
+        let w = hann_window(16);
+        for j in 0..8 {
+            assert!((w[j] - w[15 - j]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sine_window_satisfies_princen_bradley() {
+        let n = 64;
+        let w = sine_window(n);
+        for j in 0..n / 2 {
+            let s = w[j] * w[j] + w[j + n / 2] * w[j + n / 2];
+            assert!((s - 1.0).abs() < 1e-12, "PB violated at {j}: {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_sine_window_panics() {
+        let _ = sine_window(7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn tiny_hann_panics() {
+        let _ = hann_window(1);
+    }
+}

@@ -1,0 +1,83 @@
+//! **Figure 3-1** — message spreading in a 1000-node fully connected
+//! network: simulated rumor spread versus the Equation 1 recurrence.
+
+use stochastic_noc::spread;
+
+use crate::Scale;
+
+/// One round of the spread curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadPoint {
+    /// Gossip round.
+    pub round: usize,
+    /// Informed nodes predicted by the Equation 1 recurrence.
+    pub theory: f64,
+    /// Informed nodes averaged over simulated rumor runs.
+    pub simulated: f64,
+}
+
+/// Runs the Figure 3-1 experiment: `n = 1000` nodes, 20 rounds.
+pub fn run(scale: Scale) -> Vec<SpreadPoint> {
+    let n = 1000;
+    let rounds = 20;
+    let theory = spread::deterministic_curve(n, rounds);
+    let reps = scale.repetitions();
+    let mut sim_avg = vec![0.0f64; rounds + 1];
+    for seed in 0..reps {
+        let sim = spread::simulate_rumor(n, rounds, seed);
+        for (acc, &s) in sim_avg.iter_mut().zip(&sim) {
+            *acc += s as f64 / reps as f64;
+        }
+    }
+    (0..=rounds)
+        .map(|round| SpreadPoint {
+            round,
+            theory: theory[round],
+            simulated: sim_avg[round],
+        })
+        .collect()
+}
+
+/// Prints the figure's series plus the `S_n` landmark.
+pub fn print(points: &[SpreadPoint]) {
+    crate::stats::print_table_header(
+        "Figure 3-1: message spreading, 1000-node fully connected network",
+        &["round", "theory I(t)", "simulated I(t)"],
+    );
+    for p in points {
+        println!("{}\t{:.1}\t{:.1}", p.round, p.theory, p.simulated);
+    }
+    println!(
+        "S_n estimate (log2 n + ln n): {:.1} rounds",
+        spread::rounds_to_inform_all(1000)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spread_reaches_everyone_within_20_rounds() {
+        let points = run(Scale::Quick);
+        assert_eq!(points.len(), 21);
+        let last = points.last().unwrap();
+        assert!(last.theory > 999.0);
+        assert!(last.simulated > 990.0);
+    }
+
+    #[test]
+    fn simulation_tracks_theory() {
+        let points = run(Scale::Quick);
+        for p in &points {
+            let tolerance = (p.theory * 0.3).max(5.0);
+            assert!(
+                (p.simulated - p.theory).abs() < tolerance,
+                "round {}: sim {:.1} vs theory {:.1}",
+                p.round,
+                p.simulated,
+                p.theory
+            );
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! **Figure 3-3** — the producer–consumer example on a 4×4 grid: round
+//! by round, which tiles have become aware of the message and when the
+//! consumer receives it.
+
+use noc_fabric::{Grid2d, NodeId};
+use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+use crate::Scale;
+
+/// Trace of one producer–consumer gossip spread.
+#[derive(Debug, Clone)]
+pub struct ProducerConsumerTrace {
+    /// Informed tile count after each round (index = round).
+    pub informed_per_round: Vec<usize>,
+    /// Round at which the consumer first received the message, if any.
+    pub delivery_round: Option<u64>,
+    /// Total packet transmissions over the whole spread.
+    pub packets_sent: u64,
+}
+
+/// Runs the producer (tile 6, 0-based 5) → consumer (tile 12, 0-based
+/// 11) example at `p = 0.5` on a 4×4 grid.
+pub fn run(scale: Scale) -> Vec<ProducerConsumerTrace> {
+    (0..scale.repetitions())
+        .map(|seed| {
+            let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+                .config(StochasticConfig::new(0.5, 12).expect("valid").with_max_rounds(40))
+                .seed(seed)
+                .build();
+            let id = sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
+            let mut informed = vec![sim.informed_count(id)];
+            while !sim.is_complete() && sim.round() < 40 {
+                sim.step();
+                informed.push(sim.informed_count(id));
+            }
+            let report = sim.into_report();
+            ProducerConsumerTrace {
+                informed_per_round: informed,
+                delivery_round: report.latency(id),
+                packets_sent: report.packets_sent,
+            }
+        })
+        .collect()
+}
+
+/// Prints the per-round awareness trace of each run.
+pub fn print(traces: &[ProducerConsumerTrace]) {
+    crate::stats::print_table_header(
+        "Figure 3-3: producer (tile 6) -> consumer (tile 12), 4x4 grid, p=0.5",
+        &["run", "delivery round", "packets", "informed tiles per round"],
+    );
+    for (i, t) in traces.iter().enumerate() {
+        let spread: Vec<String> = t
+            .informed_per_round
+            .iter()
+            .map(|c| c.to_string())
+            .collect();
+        println!(
+            "{}\t{}\t{}\t{}",
+            i,
+            t.delivery_round
+                .map_or("-".to_string(), |r| r.to_string()),
+            t.packets_sent,
+            spread.join(",")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumer_is_reached_before_full_broadcast_usually() {
+        let traces = run(Scale::Quick);
+        let delivered = traces.iter().filter(|t| t.delivery_round.is_some()).count();
+        assert!(delivered >= traces.len() - 1, "p=0.5 delivers reliably");
+    }
+
+    #[test]
+    fn awareness_is_monotone() {
+        for t in run(Scale::Quick) {
+            assert!(t.informed_per_round.windows(2).all(|w| w[1] >= w[0]));
+            assert_eq!(t.informed_per_round[0], 1, "only the producer at start");
+        }
+    }
+}

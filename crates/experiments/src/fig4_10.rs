@@ -1,0 +1,148 @@
+//! **Figure 4-10** — impact of buffer overflow and synchronization
+//! errors on the MP3 encoding latency.
+//!
+//! Expected shapes: dropped-packet levels barely move latency until a
+//! fatal region (> ~80%) where encoding cannot complete (the paper's
+//! point "A"); synchronization errors never prevent termination but
+//! widen the latency spread (jitter).
+
+use noc_apps::mp3::{Mp3App, Mp3Params};
+use noc_faults::FaultModel;
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean_std;
+use crate::Scale;
+
+/// Which fault axis a row sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Axis {
+    /// Probability that a packet is dropped by buffer overflow.
+    DroppedPackets(f64),
+    /// Synchronization-error standard deviation (fraction of `T_R`).
+    SigmaSynch(f64),
+}
+
+/// One point of either panel.
+#[derive(Debug, Clone)]
+pub struct LatencyPoint {
+    /// The swept fault level.
+    pub axis: Axis,
+    /// Mean latency over completed runs.
+    pub latency_rounds: Option<f64>,
+    /// Standard deviation of the latency (the jitter indicator).
+    pub latency_std: Option<f64>,
+    /// Fraction of runs that completed.
+    pub completion_ratio: f64,
+}
+
+/// Runs both panels of Figure 4-10.
+pub fn run(scale: Scale) -> Vec<LatencyPoint> {
+    let (drops, sigmas): (Vec<f64>, Vec<f64>) = match scale {
+        Scale::Quick => (vec![0.0, 0.4, 0.9], vec![0.0, 0.3]),
+        Scale::Full => (
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95],
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        ),
+    };
+    let mut rows = Vec::new();
+    for &d in &drops {
+        let model = FaultModel::builder().p_overflow(d).build().expect("valid");
+        rows.push(run_point(Axis::DroppedPackets(d), model, scale));
+    }
+    for &s in &sigmas {
+        let model = FaultModel::builder().sigma_synch(s).build().expect("valid");
+        rows.push(run_point(Axis::SigmaSynch(s), model, scale));
+    }
+    rows
+}
+
+fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> LatencyPoint {
+    let reps = scale.repetitions();
+    let mut latencies = Vec::new();
+    let mut completions = 0;
+    for seed in 0..reps {
+        let params = Mp3Params {
+            frames: 8,
+            config: StochasticConfig::new(0.6, 20)
+                .expect("valid")
+                .with_max_rounds(500),
+            fault_model: model,
+            seed,
+            ..Mp3Params::default()
+        };
+        let outcome = Mp3App::new(params).run();
+        if outcome.completed {
+            completions += 1;
+            if let Some(r) = outcome.completion_round {
+                latencies.push(r as f64);
+            }
+        }
+    }
+    let stats = mean_std(&latencies);
+    LatencyPoint {
+        axis,
+        latency_rounds: stats.map(|(m, _)| m),
+        latency_std: stats.map(|(_, s)| s),
+        completion_ratio: completions as f64 / reps as f64,
+    }
+}
+
+/// Prints both panels.
+pub fn print(rows: &[LatencyPoint]) {
+    crate::stats::print_table_header(
+        "Figure 4-10: MP3 latency vs dropped packets / sync errors",
+        &["axis", "level", "latency [rounds]", "std", "completion"],
+    );
+    for r in rows {
+        let (axis, level) = match r.axis {
+            Axis::DroppedPackets(d) => ("dropped", d),
+            Axis::SigmaSynch(s) => ("sigma", s),
+        };
+        println!(
+            "{}\t{:.2}\t{}\t{}\t{:.2}",
+            axis,
+            level,
+            r.latency_rounds
+                .map_or("-".to_string(), |l| format!("{l:.1}")),
+            r.latency_std.map_or("-".to_string(), |s| format!("{s:.1}")),
+            r.completion_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dropped(rows: &[LatencyPoint], level: f64) -> &LatencyPoint {
+        rows.iter()
+            .find(|r| matches!(r.axis, Axis::DroppedPackets(d) if d == level))
+            .expect("point present")
+    }
+
+    fn sigma(rows: &[LatencyPoint], level: f64) -> &LatencyPoint {
+        rows.iter()
+            .find(|r| matches!(r.axis, Axis::SigmaSynch(s) if s == level))
+            .expect("point present")
+    }
+
+    #[test]
+    fn moderate_drops_are_survivable_and_extreme_drops_fatal() {
+        let rows = run(Scale::Quick);
+        assert!(dropped(&rows, 0.0).completion_ratio == 1.0);
+        assert!(
+            dropped(&rows, 0.4).completion_ratio > 0.5,
+            "40% drops should usually complete"
+        );
+        assert!(
+            dropped(&rows, 0.9).completion_ratio < dropped(&rows, 0.0).completion_ratio,
+            "90% drops cannot match the fault-free completion rate"
+        );
+    }
+
+    #[test]
+    fn sync_errors_never_prevent_termination() {
+        let rows = run(Scale::Quick);
+        assert_eq!(sigma(&rows, 0.3).completion_ratio, 1.0);
+    }
+}

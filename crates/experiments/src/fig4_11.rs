@@ -1,0 +1,165 @@
+//! **Figure 4-11** — impact of buffer overflow and synchronization
+//! errors on the MP3 output bit-rate (with jitter error bars).
+//!
+//! Expected shapes: the bit-rate is sustained with up to ~60% dropped
+//! packets; even severe synchronization error levels barely move the
+//! bit-rate or the output jitter.
+
+use noc_apps::mp3::{Mp3App, Mp3Params};
+use noc_faults::FaultModel;
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean_std;
+use crate::Scale;
+
+/// Which fault axis a row sweeps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Axis {
+    /// Buffer-overflow drop probability.
+    DroppedPackets(f64),
+    /// Synchronization-error standard deviation.
+    SigmaSynch(f64),
+}
+
+/// One bit-rate measurement.
+#[derive(Debug, Clone)]
+pub struct BitratePoint {
+    /// The swept fault level.
+    pub axis: Axis,
+    /// Mean output bit-rate in bits/round over runs that produced one.
+    pub bitrate: Option<f64>,
+    /// Run-to-run standard deviation of the bit-rate (error bar).
+    pub bitrate_std: Option<f64>,
+    /// Mean arrival jitter in rounds.
+    pub jitter: Option<f64>,
+    /// Fraction of frames delivered (across all runs).
+    pub frames_delivered_ratio: f64,
+}
+
+/// Runs both panels of Figure 4-11.
+pub fn run(scale: Scale) -> Vec<BitratePoint> {
+    let (drops, sigmas): (Vec<f64>, Vec<f64>) = match scale {
+        Scale::Quick => (vec![0.0, 0.6], vec![0.0, 0.4]),
+        Scale::Full => (
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5],
+        ),
+    };
+    let mut rows = Vec::new();
+    for &d in &drops {
+        let model = FaultModel::builder().p_overflow(d).build().expect("valid");
+        rows.push(run_point(Axis::DroppedPackets(d), model, scale));
+    }
+    for &s in &sigmas {
+        let model = FaultModel::builder().sigma_synch(s).build().expect("valid");
+        rows.push(run_point(Axis::SigmaSynch(s), model, scale));
+    }
+    rows
+}
+
+fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> BitratePoint {
+    let reps = scale.repetitions();
+    let mut rates = Vec::new();
+    let mut jitters = Vec::new();
+    let mut delivered = 0u64;
+    let mut requested = 0u64;
+    for seed in 0..reps {
+        let params = Mp3Params {
+            frames: 12,
+            config: StochasticConfig::new(0.6, 20)
+                .expect("valid")
+                .with_max_rounds(600),
+            fault_model: model,
+            seed,
+            ..Mp3Params::default()
+        };
+        let outcome = Mp3App::new(params).run();
+        delivered += outcome.frames_delivered as u64;
+        requested += outcome.frames_requested as u64;
+        if let Some(rate) = outcome.bitrate_per_round() {
+            rates.push(rate);
+        }
+        if let Some(j) = outcome.jitter() {
+            jitters.push(j);
+        }
+    }
+    let rate_stats = mean_std(&rates);
+    BitratePoint {
+        axis,
+        bitrate: rate_stats.map(|(m, _)| m),
+        bitrate_std: rate_stats.map(|(_, s)| s),
+        jitter: mean_std(&jitters).map(|(m, _)| m),
+        frames_delivered_ratio: delivered as f64 / requested.max(1) as f64,
+    }
+}
+
+/// Prints both panels.
+pub fn print(rows: &[BitratePoint]) {
+    crate::stats::print_table_header(
+        "Figure 4-11: MP3 output bit-rate vs dropped packets / sync errors",
+        &["axis", "level", "bitrate [bits/round]", "std", "jitter", "frames"],
+    );
+    for r in rows {
+        let (axis, level) = match r.axis {
+            Axis::DroppedPackets(d) => ("dropped", d),
+            Axis::SigmaSynch(s) => ("sigma", s),
+        };
+        println!(
+            "{}\t{:.2}\t{}\t{}\t{}\t{:.2}",
+            axis,
+            level,
+            r.bitrate.map_or("-".to_string(), |b| format!("{b:.1}")),
+            r.bitrate_std.map_or("-".to_string(), |s| format!("{s:.1}")),
+            r.jitter.map_or("-".to_string(), |j| format!("{j:.2}")),
+            r.frames_delivered_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dropped(rows: &[BitratePoint], level: f64) -> &BitratePoint {
+        rows.iter()
+            .find(|r| matches!(r.axis, Axis::DroppedPackets(d) if d == level))
+            .expect("point present")
+    }
+
+    fn sigma(rows: &[BitratePoint], level: f64) -> &BitratePoint {
+        rows.iter()
+            .find(|r| matches!(r.axis, Axis::SigmaSynch(s) if s == level))
+            .expect("point present")
+    }
+
+    #[test]
+    fn bitrate_sustained_at_sixty_percent_drops() {
+        let rows = run(Scale::Quick);
+        let clean = dropped(&rows, 0.0);
+        let lossy = dropped(&rows, 0.6);
+        assert!(
+            lossy.frames_delivered_ratio > 0.8,
+            "60% drops delivered only {:.0}% of frames",
+            lossy.frames_delivered_ratio * 100.0
+        );
+        let clean_rate = clean.bitrate.expect("clean bitrate");
+        let lossy_rate = lossy.bitrate.expect("lossy bitrate");
+        assert!(
+            lossy_rate > clean_rate * 0.3,
+            "bit-rate collapsed: {lossy_rate:.1} vs {clean_rate:.1}"
+        );
+    }
+
+    #[test]
+    fn sync_errors_keep_the_bitrate_steady() {
+        let rows = run(Scale::Quick);
+        let clean = sigma(&rows, 0.0);
+        let noisy = sigma(&rows, 0.4);
+        assert_eq!(noisy.frames_delivered_ratio, 1.0);
+        let ratio = noisy.bitrate.unwrap() / clean.bitrate.unwrap();
+        assert!(
+            (0.5..=1.5).contains(&ratio),
+            "sync errors moved the bit-rate by {ratio:.2}x"
+        );
+    }
+}

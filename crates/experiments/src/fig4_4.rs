@@ -1,0 +1,258 @@
+//! **Figure 4-4** — latency and energy dissipation of the two case
+//! studies (FFT2 on 4×4, Master–Slave on 5×5) versus the number of tile
+//! crash failures, for `p ∈ {1.0, 0.75, 0.5, 0.25}`.
+//!
+//! Expected shapes from the paper: flooding (`p = 1`) is latency-optimal
+//! and energy-worst; `p = 0.5` is close to flooding's latency at roughly
+//! half its energy; tile crashes barely move latency until modules die or
+//! the network partitions.
+
+use noc_apps::fft2d::{Fft2dApp, Fft2dParams};
+use noc_apps::master_slave::{MasterSlaveApp, MasterSlaveParams};
+use noc_faults::{CrashSchedule, FaultInjector, FaultModel};
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean_std;
+use crate::Scale;
+
+/// Which case study a row belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseStudy {
+    /// Parallel 2-D FFT on a 4×4 grid.
+    Fft2d,
+    /// Master–Slave π on a 5×5 grid.
+    MasterSlave,
+}
+
+impl CaseStudy {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CaseStudy::Fft2d => "FFT2 (4x4)",
+            CaseStudy::MasterSlave => "Master-Slave (5x5)",
+        }
+    }
+}
+
+/// One point of the Figure 4-4 curves.
+#[derive(Debug, Clone)]
+pub struct CaseStudyPoint {
+    /// Which application.
+    pub case: CaseStudy,
+    /// Forwarding probability `p`.
+    pub p: f64,
+    /// Number of crashed tiles (the x-axis).
+    pub dead_tiles: usize,
+    /// Mean completion latency in rounds over completed runs.
+    pub latency_rounds: Option<f64>,
+    /// Fraction of runs that completed.
+    pub completion_ratio: f64,
+    /// Mean communication energy in joules.
+    pub energy_joules: f64,
+}
+
+const P_VALUES: [f64; 4] = [1.0, 0.75, 0.5, 0.25];
+
+/// Kills exactly `k` non-essential tiles (never the master/root or a
+/// worker/slave tile), modelling defects on the routing fabric — the
+/// regime where the paper observes latency is barely affected.
+fn fabric_crash_schedule(
+    total_tiles: usize,
+    essential: &[usize],
+    k: usize,
+    seed: u64,
+) -> CrashSchedule {
+    let candidates: Vec<usize> = (0..total_tiles)
+        .filter(|t| !essential.contains(t))
+        .collect();
+    let mut injector = FaultInjector::new(FaultModel::none(), seed.wrapping_mul(7919));
+    let chosen = injector.sample_exact_dead_tiles(candidates.len(), k.min(candidates.len()));
+    let mut schedule = CrashSchedule::new();
+    for idx in chosen {
+        schedule.kill_tile(candidates[idx], 0);
+    }
+    schedule
+}
+
+/// Runs the Figure 4-4 sweep.
+pub fn run(scale: Scale) -> Vec<CaseStudyPoint> {
+    let dead_counts: Vec<usize> = match scale {
+        Scale::Quick => vec![0, 2, 4],
+        Scale::Full => vec![0, 1, 2, 3, 4, 5, 6],
+    };
+    let mut rows = Vec::new();
+    for case in [CaseStudy::Fft2d, CaseStudy::MasterSlave] {
+        for &p in &P_VALUES {
+            for &k in &dead_counts {
+                rows.push(run_point(case, p, k, scale));
+            }
+        }
+    }
+    rows
+}
+
+fn run_point(case: CaseStudy, p: f64, dead_tiles: usize, scale: Scale) -> CaseStudyPoint {
+    let config = StochasticConfig::new(p, 16)
+        .expect("valid config")
+        .with_max_rounds(150);
+    let mut latencies = Vec::new();
+    let mut energies = Vec::new();
+    let mut completions = 0u64;
+    let reps = scale.repetitions();
+    for seed in 0..reps {
+        let (completed, latency, energy) = match case {
+            CaseStudy::Fft2d => {
+                let base = Fft2dParams {
+                    config,
+                    seed,
+                    ..Fft2dParams::default()
+                };
+                let essential: Vec<usize> = {
+                    let app = Fft2dApp::new(base.clone());
+                    let mut v: Vec<usize> = app
+                        .worker_assignments()
+                        .into_iter()
+                        .flat_map(|(_, tiles)| tiles)
+                        .map(|n| n.index())
+                        .collect();
+                    v.push(app.root_tile().index());
+                    v
+                };
+                let params = Fft2dParams {
+                    crash_schedule: fabric_crash_schedule(16, &essential, dead_tiles, seed),
+                    ..base
+                };
+                let outcome = Fft2dApp::new(params).run();
+                (
+                    outcome.completed,
+                    outcome.completion_round,
+                    outcome.report.total_energy().joules(),
+                )
+            }
+            CaseStudy::MasterSlave => {
+                let base = MasterSlaveParams {
+                    config,
+                    seed,
+                    terms: 10_000,
+                    ..MasterSlaveParams::default()
+                };
+                let essential: Vec<usize> = {
+                    let app = MasterSlaveApp::new(base.clone());
+                    let mut v: Vec<usize> = app
+                        .slave_assignments()
+                        .into_iter()
+                        .flatten()
+                        .map(|n| n.index())
+                        .collect();
+                    v.push(app.master_tile().index());
+                    v
+                };
+                let params = MasterSlaveParams {
+                    crash_schedule: fabric_crash_schedule(25, &essential, dead_tiles, seed),
+                    ..base
+                };
+                let outcome = MasterSlaveApp::new(params).run();
+                (
+                    outcome.completed,
+                    outcome.completion_round,
+                    outcome.report.total_energy().joules(),
+                )
+            }
+        };
+        if completed {
+            completions += 1;
+            if let Some(l) = latency {
+                latencies.push(l as f64);
+            }
+        }
+        energies.push(energy);
+    }
+    CaseStudyPoint {
+        case,
+        p,
+        dead_tiles,
+        latency_rounds: mean_std(&latencies).map(|(m, _)| m),
+        completion_ratio: completions as f64 / reps as f64,
+        energy_joules: mean_std(&energies).map(|(m, _)| m).unwrap_or(0.0),
+    }
+}
+
+/// Prints both panels of Figure 4-4.
+pub fn print(rows: &[CaseStudyPoint]) {
+    crate::stats::print_table_header(
+        "Figure 4-4: latency & energy vs tile crash failures",
+        &["case", "p", "dead tiles", "latency [rounds]", "completion", "energy [J]"],
+    );
+    for r in rows {
+        println!(
+            "{}\t{:.2}\t{}\t{}\t{:.2}\t{:.3e}",
+            r.case.name(),
+            r.p,
+            r.dead_tiles,
+            r.latency_rounds
+                .map_or("-".to_string(), |l| format!("{l:.1}")),
+            r.completion_ratio,
+            r.energy_joules
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rows: &[CaseStudyPoint], case: CaseStudy, p: f64, k: usize) -> &CaseStudyPoint {
+        rows.iter()
+            .find(|r| r.case == case && r.p == p && r.dead_tiles == k)
+            .expect("point present")
+    }
+
+    #[test]
+    fn flooding_is_latency_optimal_and_energy_worst() {
+        let rows = run(Scale::Quick);
+        for case in [CaseStudy::Fft2d, CaseStudy::MasterSlave] {
+            let flood = point(&rows, case, 1.0, 0);
+            let half = point(&rows, case, 0.5, 0);
+            let flood_latency = flood.latency_rounds.expect("flooding completes");
+            if let Some(half_latency) = half.latency_rounds {
+                assert!(
+                    flood_latency <= half_latency + 1e-9,
+                    "{}: flooding {flood_latency} vs p=0.5 {half_latency}",
+                    case.name()
+                );
+            }
+            assert!(
+                flood.energy_joules > half.energy_joules,
+                "{}: flooding energy must exceed p=0.5",
+                case.name()
+            );
+        }
+    }
+
+    #[test]
+    fn p_half_energy_is_roughly_half_of_flooding() {
+        let rows = run(Scale::Quick);
+        let flood = point(&rows, CaseStudy::Fft2d, 1.0, 0).energy_joules;
+        let half = point(&rows, CaseStudy::Fft2d, 0.5, 0).energy_joules;
+        let ratio = half / flood;
+        assert!(
+            (0.3..0.75).contains(&ratio),
+            "p=0.5 energy ratio {ratio} (paper: about half)"
+        );
+    }
+
+    #[test]
+    fn fabric_crashes_barely_move_latency() {
+        let rows = run(Scale::Quick);
+        let clean = point(&rows, CaseStudy::MasterSlave, 1.0, 0)
+            .latency_rounds
+            .unwrap();
+        let damaged = point(&rows, CaseStudy::MasterSlave, 1.0, 4)
+            .latency_rounds
+            .unwrap();
+        assert!(
+            damaged <= clean * 2.5,
+            "4 fabric crashes at flooding: {damaged} vs clean {clean}"
+        );
+    }
+}

@@ -1,0 +1,159 @@
+//! **Figure 4-5** — the latency surface of the Master–Slave case study
+//! over (data-upset probability × number of defective tiles).
+//!
+//! Expected shape from the paper: tile failures have little effect on
+//! latency; upsets inflate latency sharply once `p_upset` passes ~0.5,
+//! and the algorithm "does not give up", eventually terminating even at
+//! very high upset levels (with many more rounds).
+
+use noc_apps::master_slave::{MasterSlaveApp, MasterSlaveParams};
+use noc_faults::{CrashSchedule, FaultInjector, FaultModel};
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean;
+use crate::Scale;
+
+/// One cell of the latency surface.
+#[derive(Debug, Clone)]
+pub struct SurfacePoint {
+    /// Data-upset probability.
+    pub p_upset: f64,
+    /// Defective (fabric) tiles.
+    pub dead_tiles: usize,
+    /// Mean latency in rounds over completed runs.
+    pub latency_rounds: Option<f64>,
+    /// Fraction of runs that completed within the budget.
+    pub completion_ratio: f64,
+}
+
+/// Runs the Figure 4-5 surface sweep (Master–Slave, `p = 0.5`).
+pub fn run(scale: Scale) -> Vec<SurfacePoint> {
+    let (upsets, tiles): (Vec<f64>, Vec<usize>) = match scale {
+        Scale::Quick => (vec![0.0, 0.3, 0.6], vec![0, 3]),
+        Scale::Full => (
+            vec![0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            vec![0, 1, 2, 3, 4, 5],
+        ),
+    };
+    let mut points = Vec::new();
+    for &p_upset in &upsets {
+        for &k in &tiles {
+            points.push(run_point(p_upset, k, scale));
+        }
+    }
+    points
+}
+
+fn run_point(p_upset: f64, dead_tiles: usize, scale: Scale) -> SurfacePoint {
+    let reps = scale.repetitions();
+    let mut latencies = Vec::new();
+    let mut completions = 0u64;
+    for seed in 0..reps {
+        let base = MasterSlaveParams {
+            config: StochasticConfig::new(0.5, 24)
+                .expect("valid")
+                .with_max_rounds(400),
+            fault_model: FaultModel::builder()
+                .p_upset(p_upset)
+                .build()
+                .expect("valid"),
+            seed,
+            terms: 10_000,
+            ..MasterSlaveParams::default()
+        };
+        // Kill fabric (non-essential) tiles only, as in Figure 4-4.
+        let essential: Vec<usize> = {
+            let app = MasterSlaveApp::new(base.clone());
+            let mut v: Vec<usize> = app
+                .slave_assignments()
+                .into_iter()
+                .flatten()
+                .map(|n| n.index())
+                .collect();
+            v.push(app.master_tile().index());
+            v
+        };
+        let candidates: Vec<usize> = (0..25).filter(|t| !essential.contains(t)).collect();
+        let mut injector = FaultInjector::new(FaultModel::none(), seed.wrapping_mul(31));
+        let chosen =
+            injector.sample_exact_dead_tiles(candidates.len(), dead_tiles.min(candidates.len()));
+        let mut schedule = CrashSchedule::new();
+        for idx in chosen {
+            schedule.kill_tile(candidates[idx], 0);
+        }
+        let outcome = MasterSlaveApp::new(MasterSlaveParams {
+            crash_schedule: schedule,
+            ..base
+        })
+        .run();
+        if outcome.completed {
+            completions += 1;
+            if let Some(r) = outcome.completion_round {
+                latencies.push(r as f64);
+            }
+        }
+    }
+    SurfacePoint {
+        p_upset,
+        dead_tiles,
+        latency_rounds: mean(&latencies),
+        completion_ratio: completions as f64 / reps as f64,
+    }
+}
+
+/// Prints the surface as a table.
+pub fn print(points: &[SurfacePoint]) {
+    crate::stats::print_table_header(
+        "Figure 4-5: Master-Slave latency vs (data upsets x defective tiles), p=0.5",
+        &["p_upset", "dead tiles", "latency [rounds]", "completion"],
+    );
+    for p in points {
+        println!(
+            "{:.2}\t{}\t{}\t{:.2}",
+            p.p_upset,
+            p.dead_tiles,
+            p.latency_rounds
+                .map_or("-".to_string(), |l| format!("{l:.1}")),
+            p.completion_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upsets_raise_latency() {
+        let points = run(Scale::Quick);
+        let clean = points
+            .iter()
+            .find(|p| p.p_upset == 0.0 && p.dead_tiles == 0)
+            .and_then(|p| p.latency_rounds)
+            .expect("clean run completes");
+        let noisy = points
+            .iter()
+            .find(|p| p.p_upset == 0.6 && p.dead_tiles == 0)
+            .and_then(|p| p.latency_rounds);
+        if let Some(noisy) = noisy {
+            assert!(
+                noisy >= clean,
+                "60% upsets cannot be faster: {noisy} vs {clean}"
+            );
+        }
+    }
+
+    #[test]
+    fn moderate_upsets_do_not_prevent_termination() {
+        let points = run(Scale::Quick);
+        for p in points.iter().filter(|p| p.p_upset <= 0.3) {
+            assert!(
+                p.completion_ratio > 0.5,
+                "upset {} dead {} completed only {:.0}%",
+                p.p_upset,
+                p.dead_tiles,
+                p.completion_ratio * 100.0
+            );
+        }
+    }
+}

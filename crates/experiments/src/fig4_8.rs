@@ -1,0 +1,136 @@
+//! **Figure 4-8** — MP3 encoding latency as a function of the forwarding
+//! probability `p` and the data-upset probability `p_upset` (the paper's
+//! contour plot).
+//!
+//! Expected shape: lowest latency at `p = 1, p_upset = 0`; latency grows
+//! as `p → 0` and as `p_upset → 1`, up to the region where the encoding
+//! cannot finish at all.
+
+use noc_apps::mp3::{Mp3App, Mp3Params};
+use noc_faults::FaultModel;
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean;
+use crate::Scale;
+
+/// One grid cell of the latency contour.
+#[derive(Debug, Clone)]
+pub struct LatencyCell {
+    /// Forwarding probability.
+    pub p: f64,
+    /// Upset probability.
+    pub p_upset: f64,
+    /// Mean encoding latency in rounds over completed runs.
+    pub latency_rounds: Option<f64>,
+    /// Fraction of runs that finished encoding.
+    pub completion_ratio: f64,
+}
+
+/// Runs the Figure 4-8 grid.
+pub fn run(scale: Scale) -> Vec<LatencyCell> {
+    let (ps, upsets, frames): (Vec<f64>, Vec<f64>, u32) = match scale {
+        Scale::Quick => (vec![0.5, 1.0], vec![0.0, 0.4], 6),
+        Scale::Full => (
+            vec![0.2, 0.4, 0.6, 0.8, 1.0],
+            vec![0.0, 0.2, 0.4, 0.6, 0.8],
+            12,
+        ),
+    };
+    let mut cells = Vec::new();
+    for &p in &ps {
+        for &pu in &upsets {
+            cells.push(run_cell(p, pu, frames, scale));
+        }
+    }
+    cells
+}
+
+fn run_cell(p: f64, p_upset: f64, frames: u32, scale: Scale) -> LatencyCell {
+    let reps = scale.repetitions();
+    let mut latencies = Vec::new();
+    let mut completions = 0;
+    for seed in 0..reps {
+        let params = Mp3Params {
+            frames,
+            config: StochasticConfig::new(p, 20)
+                .expect("valid")
+                .with_max_rounds(500),
+            fault_model: FaultModel::builder()
+                .p_upset(p_upset)
+                .build()
+                .expect("valid"),
+            seed,
+            ..Mp3Params::default()
+        };
+        let outcome = Mp3App::new(params).run();
+        if outcome.completed {
+            completions += 1;
+            if let Some(r) = outcome.completion_round {
+                latencies.push(r as f64);
+            }
+        }
+    }
+    LatencyCell {
+        p,
+        p_upset,
+        latency_rounds: mean(&latencies),
+        completion_ratio: completions as f64 / reps as f64,
+    }
+}
+
+/// Prints the contour grid.
+pub fn print(cells: &[LatencyCell]) {
+    crate::stats::print_table_header(
+        "Figure 4-8: MP3 latency over (p x p_upset)",
+        &["p", "p_upset", "latency [rounds]", "completion"],
+    );
+    for c in cells {
+        println!(
+            "{:.2}\t{:.2}\t{}\t{:.2}",
+            c.p,
+            c.p_upset,
+            c.latency_rounds
+                .map_or("-".to_string(), |l| format!("{l:.1}")),
+            c.completion_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(cells: &[LatencyCell], p: f64, pu: f64) -> &LatencyCell {
+        cells
+            .iter()
+            .find(|c| c.p == p && c.p_upset == pu)
+            .expect("cell present")
+    }
+
+    #[test]
+    fn best_corner_is_flooding_without_upsets() {
+        let cells = run(Scale::Quick);
+        let best = cell(&cells, 1.0, 0.0);
+        assert_eq!(best.completion_ratio, 1.0);
+        let best_latency = best.latency_rounds.unwrap();
+        for c in &cells {
+            if let Some(l) = c.latency_rounds {
+                assert!(
+                    best_latency <= l + 1e-9,
+                    "p={},pu={} latency {l} beats the best corner {best_latency}",
+                    c.p,
+                    c.p_upset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn upsets_increase_latency_at_fixed_p() {
+        let cells = run(Scale::Quick);
+        let clean = cell(&cells, 1.0, 0.0).latency_rounds.unwrap();
+        if let Some(noisy) = cell(&cells, 1.0, 0.4).latency_rounds {
+            assert!(noisy >= clean, "noisy {noisy} vs clean {clean}");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! **Figure 4-9** — MP3 energy dissipation versus the forwarding
+//! probability `p`.
+//!
+//! Expected shape: energy grows almost linearly with `p`, because the
+//! total packet count Equation 3 charges for is proportional to the
+//! per-link forwarding probability.
+
+use noc_apps::mp3::{Mp3App, Mp3Params};
+use stochastic_noc::StochasticConfig;
+
+use crate::stats::mean;
+use crate::Scale;
+
+/// One point of the energy curve.
+#[derive(Debug, Clone)]
+pub struct EnergyPoint {
+    /// Forwarding probability.
+    pub p: f64,
+    /// Mean communication energy in joules.
+    pub energy_joules: f64,
+    /// Mean packets transmitted.
+    pub packets: f64,
+}
+
+/// Runs the Figure 4-9 sweep.
+pub fn run(scale: Scale) -> Vec<EnergyPoint> {
+    let ps: Vec<f64> = match scale {
+        Scale::Quick => vec![0.25, 0.5, 1.0],
+        Scale::Full => vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0],
+    };
+    ps.iter()
+        .map(|&p| {
+            let reps = scale.repetitions();
+            let mut energies = Vec::new();
+            let mut packets = Vec::new();
+            for seed in 0..reps {
+                let params = Mp3Params {
+                    frames: 8,
+                    config: StochasticConfig::new(p, 16)
+                        .expect("valid")
+                        .with_max_rounds(400),
+                    seed,
+                    ..Mp3Params::default()
+                };
+                let outcome = Mp3App::new(params).run();
+                energies.push(outcome.report.total_energy().joules());
+                packets.push(outcome.report.packets_sent as f64);
+            }
+            EnergyPoint {
+                p,
+                energy_joules: mean(&energies).unwrap_or(0.0),
+                packets: mean(&packets).unwrap_or(0.0),
+            }
+        })
+        .collect()
+}
+
+/// Prints the energy curve.
+pub fn print(points: &[EnergyPoint]) {
+    crate::stats::print_table_header(
+        "Figure 4-9: MP3 energy dissipation vs p",
+        &["p", "energy [J]", "packets"],
+    );
+    for p in points {
+        println!("{:.2}\t{:.3e}\t{:.0}", p.p, p.energy_joules, p.packets);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_is_monotone_in_p() {
+        let points = run(Scale::Quick);
+        for w in points.windows(2) {
+            assert!(
+                w[1].energy_joules > w[0].energy_joules,
+                "p={} energy {} !> p={} energy {}",
+                w[1].p,
+                w[1].energy_joules,
+                w[0].p,
+                w[0].energy_joules
+            );
+        }
+    }
+
+    #[test]
+    fn growth_is_roughly_linear() {
+        // The paper: "increases almost linearly with the probability p".
+        // Check that doubling p from 0.5 to 1.0 scales energy by roughly
+        // 2x (within generous tolerance; completion effects bend it).
+        let points = run(Scale::Quick);
+        let at = |p: f64| {
+            points
+                .iter()
+                .find(|e| e.p == p)
+                .map(|e| e.energy_joules)
+                .expect("present")
+        };
+        let ratio = at(1.0) / at(0.5);
+        assert!(
+            (1.3..3.0).contains(&ratio),
+            "energy(1.0)/energy(0.5) = {ratio}"
+        );
+    }
+}

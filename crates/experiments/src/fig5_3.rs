@@ -1,0 +1,112 @@
+//! **Figure 5-3** — on-chip diversity: latency and message transmissions
+//! of the flat NoC, the hierarchical NoC, and bus-connected NoCs under
+//! identical beamforming traffic.
+//!
+//! Expected shapes from the paper: the hierarchical NoC has the lowest
+//! number of message transmissions (lowest power); the flat NoC has a
+//! slightly better latency; the bus-connected hybrid is less efficient
+//! than both.
+
+use noc_diversity::{compare_architectures, ArchitectureKind, ArchitectureResult, ComparisonParams};
+
+use crate::Scale;
+
+/// Aggregated result per architecture.
+#[derive(Debug, Clone)]
+pub struct DiversityRow {
+    /// Which fabric.
+    pub kind: ArchitectureKind,
+    /// Mean latency in rounds.
+    pub latency_rounds: f64,
+    /// Mean message transmissions.
+    pub transmissions: f64,
+    /// Fraction of runs completed.
+    pub completion_ratio: f64,
+}
+
+/// Runs the Figure 5-3 comparison over several seeds.
+pub fn run(scale: Scale) -> Vec<DiversityRow> {
+    let base = match scale {
+        Scale::Quick => ComparisonParams::quick(),
+        Scale::Full => ComparisonParams::paper_scale(),
+    };
+    let reps = scale.repetitions();
+    let mut acc: Vec<(ArchitectureKind, Vec<ArchitectureResult>)> = vec![
+        (ArchitectureKind::Flat, Vec::new()),
+        (ArchitectureKind::Hierarchical, Vec::new()),
+        (ArchitectureKind::BusConnected, Vec::new()),
+    ];
+    for seed in 0..reps {
+        let params = ComparisonParams {
+            seed,
+            ..base.clone()
+        };
+        for result in compare_architectures(&params) {
+            acc.iter_mut()
+                .find(|(k, _)| *k == result.kind)
+                .expect("known kind")
+                .1
+                .push(result);
+        }
+    }
+    acc.into_iter()
+        .map(|(kind, results)| {
+            let n = results.len() as f64;
+            DiversityRow {
+                kind,
+                latency_rounds: results.iter().map(|r| r.latency_rounds as f64).sum::<f64>() / n,
+                transmissions: results.iter().map(|r| r.transmissions as f64).sum::<f64>() / n,
+                completion_ratio: results.iter().filter(|r| r.completed).count() as f64 / n,
+            }
+        })
+        .collect()
+}
+
+/// Prints both bar charts of Figure 5-3.
+pub fn print(rows: &[DiversityRow]) {
+    crate::stats::print_table_header(
+        "Figure 5-3: on-chip diversity architecture comparison (beamforming)",
+        &["architecture", "latency [rounds]", "message transmissions", "completion"],
+    );
+    for r in rows {
+        println!(
+            "{}\t{:.1}\t{:.0}\t{:.2}",
+            r.kind.name(),
+            r.latency_rounds,
+            r.transmissions,
+            r.completion_ratio
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_kind(rows: &[DiversityRow], kind: ArchitectureKind) -> &DiversityRow {
+        rows.iter().find(|r| r.kind == kind).expect("present")
+    }
+
+    #[test]
+    fn hierarchical_transmits_least() {
+        let rows = run(Scale::Quick);
+        let hier = by_kind(&rows, ArchitectureKind::Hierarchical);
+        let flat = by_kind(&rows, ArchitectureKind::Flat);
+        assert!(
+            hier.transmissions < flat.transmissions,
+            "hierarchical {} vs flat {}",
+            hier.transmissions,
+            flat.transmissions
+        );
+    }
+
+    #[test]
+    fn flat_has_best_latency_and_bus_is_worst() {
+        let rows = run(Scale::Quick);
+        let flat = by_kind(&rows, ArchitectureKind::Flat).latency_rounds;
+        let hier = by_kind(&rows, ArchitectureKind::Hierarchical).latency_rounds;
+        let bus = by_kind(&rows, ArchitectureKind::BusConnected).latency_rounds;
+        assert!(flat <= hier, "flat {flat} vs hierarchical {hier}");
+        assert!(bus >= hier, "bus {bus} vs hierarchical {hier}");
+    }
+}

@@ -1,0 +1,80 @@
+//! CLI entry point: regenerate any figure of the paper.
+//!
+//! ```text
+//! experiments <figure> [--full]
+//! experiments all [--full]
+//! ```
+
+use noc_experiments::{
+    ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
+    fig4_9, fig5_3, grid_spread, Scale,
+};
+
+const FIGURES: &[&str] = &[
+    "fig3-1",
+    "fig3-3",
+    "fig4-4",
+    "fig4-5",
+    "fig4-6",
+    "fig4-8",
+    "fig4-9",
+    "fig4-10",
+    "fig4-11",
+    "fig5-3",
+    "error-models",
+    "ablations",
+    "grid-spread",
+];
+
+fn run_figure(name: &str, scale: Scale) -> bool {
+    match name {
+        "fig3-1" => fig3_1::print(&fig3_1::run(scale)),
+        "fig3-3" => fig3_3::print(&fig3_3::run(scale)),
+        "fig4-4" => fig4_4::print(&fig4_4::run(scale)),
+        "fig4-5" => fig4_5::print(&fig4_5::run(scale)),
+        "fig4-6" => fig4_6::print(&fig4_6::run(scale)),
+        "fig4-8" => fig4_8::print(&fig4_8::run(scale)),
+        "fig4-9" => fig4_9::print(&fig4_9::run(scale)),
+        "fig4-10" => fig4_10::print(&fig4_10::run(scale)),
+        "fig4-11" => fig4_11::print(&fig4_11::run(scale)),
+        "fig5-3" => fig5_3::print(&fig5_3::run(scale)),
+        "error-models" => error_models::print(&error_models::run(scale)),
+        "ablations" => ablations::print(&ablations::run(scale)),
+        "grid-spread" => grid_spread::print(&grid_spread::run(scale)),
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
+    let targets: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    if targets.is_empty() || targets == ["help"] {
+        eprintln!("usage: experiments <figure>|all [--full]");
+        eprintln!("figures: {}", FIGURES.join(", "));
+        std::process::exit(if targets.is_empty() { 2 } else { 0 });
+    }
+
+    let run_all = targets.contains(&"all");
+    let list: Vec<&str> = if run_all {
+        FIGURES.to_vec()
+    } else {
+        targets
+    };
+    for name in list {
+        if !run_figure(name, scale) {
+            eprintln!("unknown figure '{name}'; known: {}", FIGURES.join(", "));
+            std::process::exit(2);
+        }
+    }
+}

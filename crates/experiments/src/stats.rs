@@ -1,0 +1,60 @@
+//! Small statistics and table-formatting helpers shared by the figures.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Population standard deviation; `None` for fewer than two values.
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / values.len() as f64;
+    Some(var.sqrt())
+}
+
+/// Mean and standard deviation together (std 0 for singletons).
+pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
+    let m = mean(values)?;
+    Some((m, std_dev(values).unwrap_or(0.0)))
+}
+
+/// Prints a header row followed by a separator, for the table output the
+/// harness emits.
+pub fn print_table_header(title: &str, columns: &[&str]) {
+    println!();
+    println!("== {title} ==");
+    println!("{}", columns.join("\t"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_of_empty_is_none() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(mean_std(&[]), None);
+    }
+
+    #[test]
+    fn mean_and_std_of_known_data() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let (m, s) = mean_std(&data).unwrap();
+        assert!((m - 5.0).abs() < 1e-12);
+        assert!((s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        assert_eq!(mean_std(&[3.0]), Some((3.0, 0.0)));
+        assert_eq!(std_dev(&[3.0]), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Finite receive buffers with drop-oldest overflow semantics.
+
+use std::collections::VecDeque;
+
+/// A tile's receive buffer.
+///
+/// §4.2 of the paper: "The tiles have finite message buffers, which leads
+/// to a certain probability of overflow; if such an overflow happens, the
+/// respective tile will lose some of the messages (the oldest ones are
+/// dropped first)." An unbounded buffer (`capacity = None`) never drops.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::ReceiveBuffer;
+///
+/// let mut buf = ReceiveBuffer::bounded(2);
+/// assert_eq!(buf.push('a'), None);
+/// assert_eq!(buf.push('b'), None);
+/// assert_eq!(buf.push('c'), Some('a')); // oldest dropped
+/// assert_eq!(buf.dropped(), 1);
+/// assert_eq!(buf.drain().collect::<Vec<_>>(), vec!['b', 'c']);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReceiveBuffer<T> {
+    capacity: Option<usize>,
+    queue: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T> ReceiveBuffer<T> {
+    /// Creates an unbounded buffer (never overflows).
+    pub fn unbounded() -> Self {
+        Self {
+            capacity: None,
+            queue: VecDeque::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Creates a buffer holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity > 0, "buffer capacity must be at least 1");
+        Self {
+            capacity: Some(capacity),
+            queue: VecDeque::with_capacity(capacity),
+            dropped: 0,
+        }
+    }
+
+    /// Enqueues an item; on overflow drops and returns the *oldest* item.
+    pub fn push(&mut self, item: T) -> Option<T> {
+        self.queue.push_back(item);
+        if let Some(cap) = self.capacity {
+            if self.queue.len() > cap {
+                self.dropped += 1;
+                return self.queue.pop_front();
+            }
+        }
+        None
+    }
+
+    /// Removes and returns all buffered items in FIFO order.
+    pub fn drain(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.queue.drain(..)
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The configured capacity, or `None` for unbounded.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Total items dropped by overflow since construction.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates without consuming.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.queue.iter()
+    }
+}
+
+impl<T> Default for ReceiveBuffer<T> {
+    /// An unbounded buffer.
+    fn default() -> Self {
+        Self::unbounded()
+    }
+}
+
+impl<T> Extend<T> for ReceiveBuffer<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for item in iter {
+            let _ = self.push(item);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unbounded_never_drops() {
+        let mut buf = ReceiveBuffer::unbounded();
+        for i in 0..10_000 {
+            assert_eq!(buf.push(i), None);
+        }
+        assert_eq!(buf.dropped(), 0);
+        assert_eq!(buf.len(), 10_000);
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut buf = ReceiveBuffer::unbounded();
+        buf.extend([1, 2, 3]);
+        assert_eq!(buf.drain().collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest_first() {
+        let mut buf = ReceiveBuffer::bounded(3);
+        buf.extend([1, 2, 3]);
+        assert_eq!(buf.push(4), Some(1));
+        assert_eq!(buf.push(5), Some(2));
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.drain().collect::<Vec<_>>(), vec![3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_capacity_panics() {
+        let _ = ReceiveBuffer::<u8>::bounded(0);
+    }
+
+    #[test]
+    fn iter_does_not_consume() {
+        let mut buf = ReceiveBuffer::bounded(4);
+        buf.extend(["x", "y"]);
+        assert_eq!(buf.iter().count(), 2);
+        assert_eq!(buf.len(), 2);
+    }
+
+    proptest! {
+        #[test]
+        fn occupancy_never_exceeds_capacity(
+            cap in 1usize..16,
+            items in proptest::collection::vec(any::<u32>(), 0..100),
+        ) {
+            let mut buf = ReceiveBuffer::bounded(cap);
+            for &it in &items {
+                let _ = buf.push(it);
+                prop_assert!(buf.len() <= cap);
+            }
+            let kept: Vec<u32> = buf.drain().collect();
+            // What remains is exactly the newest min(cap, n) items, in order.
+            let n = items.len();
+            let expect: Vec<u32> = items[n.saturating_sub(cap)..].to_vec();
+            prop_assert_eq!(kept, expect);
+        }
+
+        #[test]
+        fn dropped_count_is_exact(
+            cap in 1usize..8,
+            n in 0usize..50,
+        ) {
+            let mut buf = ReceiveBuffer::bounded(cap);
+            for i in 0..n {
+                let _ = buf.push(i);
+            }
+            prop_assert_eq!(buf.dropped(), n.saturating_sub(cap) as u64);
+        }
+    }
+}

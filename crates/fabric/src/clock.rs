@@ -1,0 +1,145 @@
+//! GALS clock domains with accumulated synchronization skew.
+//!
+//! The paper adopts "a tile-based architecture in which every tile has its
+//! own clock domain" with mixed-clock interfaces between tiles; the round
+//! duration of each tile is normally distributed around `T_R` with a
+//! standard deviation `σ_synchr`. A tile whose accumulated skew drifts past
+//! half a round misses the round boundary: its outgoing messages land one
+//! round late at their receivers. This reproduces the paper's observation
+//! that synchronization errors cause latency *jitter* without message loss.
+
+/// Per-tile clock domain tracking accumulated skew (in fractions of the
+/// round duration `T_R`).
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::ClockDomain;
+///
+/// let mut clock = ClockDomain::new();
+/// // A tile running 60% of a round slow this round slips the boundary:
+/// assert!(clock.advance(0.6));
+/// // ...and is back in step afterwards (the slip consumed the debt).
+/// assert!(!clock.advance(0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ClockDomain {
+    skew: f64,
+    slips: u64,
+}
+
+impl ClockDomain {
+    /// A clock domain with no accumulated skew.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Advances the domain by one round whose duration deviated from `T_R`
+    /// by `skew_fraction` (e.g. `0.1` = 10% slow, `-0.1` = 10% fast).
+    ///
+    /// Returns `true` if the accumulated skew crossed half a round in
+    /// either direction — the tile slipped a round boundary and its sends
+    /// this round are delayed by one round. The slip resets the
+    /// accumulated skew by a whole round in the appropriate direction.
+    pub fn advance(&mut self, skew_fraction: f64) -> bool {
+        self.skew += skew_fraction;
+        if self.skew.abs() > 0.5 {
+            self.skew -= self.skew.signum();
+            self.slips += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current accumulated skew, as a fraction of `T_R` in `(-0.5, 0.5]`.
+    pub fn skew(&self) -> f64 {
+        self.skew
+    }
+
+    /// Total round-boundary slips since construction.
+    pub fn slips(&self) -> u64 {
+        self.slips
+    }
+
+    /// Resets skew and slip count.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ideal_clock_never_slips() {
+        let mut c = ClockDomain::new();
+        for _ in 0..1000 {
+            assert!(!c.advance(0.0));
+        }
+        assert_eq!(c.slips(), 0);
+        assert_eq!(c.skew(), 0.0);
+    }
+
+    #[test]
+    fn small_skews_accumulate_into_a_slip() {
+        let mut c = ClockDomain::new();
+        assert!(!c.advance(0.3));
+        assert!(!c.advance(0.2)); // exactly 0.5: not yet over
+        assert!(c.advance(0.1)); // 0.6 > 0.5: slip
+        assert_eq!(c.slips(), 1);
+        assert!((c.skew() - (-0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_clocks_slip_too() {
+        let mut c = ClockDomain::new();
+        assert!(c.advance(-0.7));
+        assert!((c.skew() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = ClockDomain::new();
+        c.advance(0.9);
+        c.reset();
+        assert_eq!(c.skew(), 0.0);
+        assert_eq!(c.slips(), 0);
+    }
+
+    #[test]
+    fn slip_rate_grows_with_sigma() {
+        // Feed alternating-free Gaussian-ish noise of two magnitudes and
+        // check that bigger noise slips more often.
+        let noisy: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { 0.45 } else { -0.3 })
+            .collect();
+        let calm: Vec<f64> = (0..2000)
+            .map(|i| if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let run = |skews: &[f64]| {
+            let mut c = ClockDomain::new();
+            for &s in skews {
+                c.advance(s);
+            }
+            c.slips()
+        };
+        assert!(run(&noisy) > run(&calm));
+        assert_eq!(run(&calm), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn skew_stays_bounded(skews in proptest::collection::vec(-1.0f64..1.0, 0..500)) {
+            let mut c = ClockDomain::new();
+            for s in skews {
+                c.advance(s);
+                // After each advance, |skew| <= 1.0 (one slip can leave at
+                // most half a round plus the incoming skew's remainder).
+                prop_assert!(c.skew().abs() <= 1.0);
+            }
+        }
+    }
+}

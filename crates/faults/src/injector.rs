@@ -1,0 +1,361 @@
+//! The runtime fault injector that a simulation engine consults.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::model::FaultModel;
+use crate::rng::GaussianSampler;
+
+/// Explicit crash events: which tiles/links die, and when.
+///
+/// Round `0` means "dead from the start" (a manufacturing defect); any
+/// later round models an in-field crash, used to reproduce the §4.1.3
+/// observation that crashes in the early broadcast stages are the
+/// dangerous ones.
+///
+/// # Examples
+///
+/// ```
+/// use noc_faults::CrashSchedule;
+///
+/// let mut schedule = CrashSchedule::new();
+/// schedule.kill_tile(5, 0);   // dead on arrival
+/// schedule.kill_link(12, 30); // link 12 dies at round 30
+/// assert!(schedule.tile_dead(5, 0));
+/// assert!(!schedule.link_dead(12, 29));
+/// assert!(schedule.link_dead(12, 30));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CrashSchedule {
+    tiles: Vec<(usize, u64)>,
+    links: Vec<(usize, u64)>,
+}
+
+impl CrashSchedule {
+    /// An empty schedule (nothing crashes).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules tile `tile` to be dead from round `round` onwards.
+    pub fn kill_tile(&mut self, tile: usize, round: u64) -> &mut Self {
+        self.tiles.push((tile, round));
+        self
+    }
+
+    /// Schedules link `link` to be dead from round `round` onwards.
+    pub fn kill_link(&mut self, link: usize, round: u64) -> &mut Self {
+        self.links.push((link, round));
+        self
+    }
+
+    /// Is `tile` dead at `round`?
+    pub fn tile_dead(&self, tile: usize, round: u64) -> bool {
+        self.tiles.iter().any(|&(t, r)| t == tile && round >= r)
+    }
+
+    /// Is `link` dead at `round`?
+    pub fn link_dead(&self, link: usize, round: u64) -> bool {
+        self.links.iter().any(|&(l, r)| l == link && round >= r)
+    }
+
+    /// Number of tiles ever scheduled to die.
+    pub fn dead_tile_count(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Number of links ever scheduled to die.
+    pub fn dead_link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Iterates over `(tile, round)` crash events.
+    pub fn tile_events(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.tiles.iter().copied()
+    }
+
+    /// Iterates over `(link, round)` crash events.
+    pub fn link_events(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.links.iter().copied()
+    }
+}
+
+/// A seeded source of fault decisions, owned by the simulation engine.
+///
+/// All stochastic fault events — upsets, overflow drops, crash sampling,
+/// synchronization skew — are drawn from one deterministic PRNG stream, so
+/// an experiment is exactly reproducible from `(model, seed)`.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    model: FaultModel,
+    rng: StdRng,
+    gauss: GaussianSampler,
+}
+
+impl FaultInjector {
+    /// Creates an injector for `model`, seeded with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `model` fails [`FaultModel::validate`] — build models via
+    /// [`FaultModel::builder`] to get a checked result instead.
+    pub fn new(model: FaultModel, seed: u64) -> Self {
+        model
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid fault model: {e}"));
+        Self {
+            model,
+            rng: StdRng::seed_from_u64(seed),
+            gauss: GaussianSampler::new(),
+        }
+    }
+
+    /// The model in force.
+    pub fn model(&self) -> &FaultModel {
+        &self.model
+    }
+
+    /// Samples which of `n` tiles are dead from the start (Bernoulli with
+    /// `p_tiles` per tile). Returns `alive[i]`.
+    pub fn sample_alive_tiles(&mut self, n: usize) -> Vec<bool> {
+        (0..n).map(|_| !self.bernoulli(self.model.p_tiles)).collect()
+    }
+
+    /// Samples which of `m` links are dead from the start.
+    pub fn sample_alive_links(&mut self, m: usize) -> Vec<bool> {
+        (0..m).map(|_| !self.bernoulli(self.model.p_links)).collect()
+    }
+
+    /// Samples exactly `k` distinct dead tiles out of `n` (used by the
+    /// figure sweeps that put "number of defective tiles" on an axis).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k > n`.
+    pub fn sample_exact_dead_tiles(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "cannot kill {k} of {n} tiles");
+        // Floyd's algorithm for a k-subset.
+        let mut chosen: Vec<usize> = Vec::with_capacity(k);
+        for j in (n - k)..n {
+            let t = self.rng.gen_range(0..=j);
+            if chosen.contains(&t) {
+                chosen.push(j);
+            } else {
+                chosen.push(t);
+            }
+        }
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Does a data upset scramble the packet on this link traversal?
+    pub fn upset_occurs(&mut self) -> bool {
+        self.bernoulli(self.model.p_upset)
+    }
+
+    /// Applies the configured error model to `payload` in place
+    /// (conditioned on an upset having occurred).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is empty.
+    pub fn scramble(&mut self, payload: &mut [u8]) {
+        let model = self.model.error_model;
+        let p = self.model.p_upset;
+        model.scramble(&mut self.rng, payload, p);
+    }
+
+    /// Is a received packet dropped by (probabilistic) buffer overflow?
+    pub fn overflow_drop(&mut self) -> bool {
+        self.bernoulli(self.model.p_overflow)
+    }
+
+    /// Samples this tile's round-duration skew as a *fraction of `T_R`*
+    /// drawn from `N(0, sigma_synch²)`.
+    pub fn round_skew(&mut self) -> f64 {
+        if self.model.sigma_synch == 0.0 {
+            0.0
+        } else {
+            self.gauss.sample(&mut self.rng, 0.0, self.model.sigma_synch)
+        }
+    }
+
+    /// Direct access to the underlying RNG for auxiliary decisions that
+    /// must share the deterministic stream (e.g. gossip forwarding).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.rng.gen_bool(p)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::FaultModel;
+
+    fn model(p_upset: f64, p_overflow: f64) -> FaultModel {
+        FaultModel::builder()
+            .p_upset(p_upset)
+            .p_overflow(p_overflow)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn fault_free_injector_never_fires() {
+        let mut inj = FaultInjector::new(FaultModel::none(), 1);
+        for _ in 0..1000 {
+            assert!(!inj.upset_occurs());
+            assert!(!inj.overflow_drop());
+            assert_eq!(inj.round_skew(), 0.0);
+        }
+        assert!(inj.sample_alive_tiles(100).iter().all(|&a| a));
+        assert!(inj.sample_alive_links(100).iter().all(|&a| a));
+    }
+
+    #[test]
+    fn certain_faults_always_fire() {
+        let mut inj = FaultInjector::new(model(1.0, 1.0), 1);
+        for _ in 0..100 {
+            assert!(inj.upset_occurs());
+            assert!(inj.overflow_drop());
+        }
+    }
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultInjector::new(model(0.5, 0.5), 42);
+        let mut b = FaultInjector::new(model(0.5, 0.5), 42);
+        let da: Vec<bool> = (0..100).map(|_| a.upset_occurs()).collect();
+        let db: Vec<bool> = (0..100).map(|_| b.upset_occurs()).collect();
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = FaultInjector::new(model(0.5, 0.5), 1);
+        let mut b = FaultInjector::new(model(0.5, 0.5), 2);
+        let da: Vec<bool> = (0..100).map(|_| a.upset_occurs()).collect();
+        let db: Vec<bool> = (0..100).map(|_| b.upset_occurs()).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn upset_rate_approximates_p_upset() {
+        let mut inj = FaultInjector::new(model(0.3, 0.0), 7);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| inj.upset_occurs()).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn exact_dead_tiles_are_distinct_and_in_range() {
+        let mut inj = FaultInjector::new(FaultModel::none(), 3);
+        for k in 0..=16 {
+            let dead = inj.sample_exact_dead_tiles(16, k);
+            assert_eq!(dead.len(), k);
+            assert!(dead.windows(2).all(|w| w[0] < w[1]), "distinct+sorted");
+            assert!(dead.iter().all(|&t| t < 16));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot kill")]
+    fn too_many_dead_tiles_panics() {
+        let mut inj = FaultInjector::new(FaultModel::none(), 3);
+        let _ = inj.sample_exact_dead_tiles(4, 5);
+    }
+
+    #[test]
+    fn crash_schedule_semantics() {
+        let mut s = CrashSchedule::new();
+        s.kill_tile(2, 10).kill_link(7, 0);
+        assert!(!s.tile_dead(2, 9));
+        assert!(s.tile_dead(2, 10));
+        assert!(s.tile_dead(2, 999));
+        assert!(!s.tile_dead(3, 999));
+        assert!(s.link_dead(7, 0));
+        assert_eq!(s.dead_tile_count(), 1);
+        assert_eq!(s.dead_link_count(), 1);
+        assert_eq!(s.tile_events().collect::<Vec<_>>(), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn scramble_changes_payload() {
+        let mut inj = FaultInjector::new(model(0.5, 0.0), 9);
+        let mut p = vec![0u8; 8];
+        inj.scramble(&mut p);
+        assert!(p.iter().any(|&b| b != 0));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            #[test]
+            fn alive_sampling_rate_tracks_p_tiles(
+                p in 0.0f64..=1.0,
+                seed in 0u64..1000,
+            ) {
+                let model = FaultModel::builder().p_tiles(p).build().unwrap();
+                let mut inj = FaultInjector::new(model, seed);
+                let alive = inj.sample_alive_tiles(2000);
+                let dead = alive.iter().filter(|&&a| !a).count() as f64 / 2000.0;
+                prop_assert!((dead - p).abs() < 0.06, "dead rate {dead} vs p {p}");
+            }
+
+            #[test]
+            fn exact_dead_tiles_are_a_k_subset(
+                n in 1usize..50,
+                seed in 0u64..1000,
+            ) {
+                let mut inj = FaultInjector::new(FaultModel::none(), seed);
+                for k in 0..=n {
+                    let dead = inj.sample_exact_dead_tiles(n, k);
+                    prop_assert_eq!(dead.len(), k);
+                    prop_assert!(dead.windows(2).all(|w| w[0] < w[1]));
+                    prop_assert!(dead.iter().all(|&t| t < n));
+                }
+            }
+
+            #[test]
+            fn scramble_is_never_a_no_op(
+                len in 1usize..64,
+                seed in 0u64..1000,
+            ) {
+                let model = FaultModel::builder().p_upset(0.5).build().unwrap();
+                let mut inj = FaultInjector::new(model, seed);
+                let original = vec![0xC3u8; len];
+                let mut copy = original.clone();
+                inj.scramble(&mut copy);
+                prop_assert_ne!(copy, original);
+            }
+        }
+    }
+
+    #[test]
+    fn skew_scales_with_sigma() {
+        let m = FaultModel::builder().sigma_synch(0.25).build().unwrap();
+        let mut inj = FaultInjector::new(m, 21);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| inj.round_skew()).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let std = (samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64).sqrt();
+        assert!(mean.abs() < 0.01);
+        assert!((std - 0.25).abs() < 0.01);
+    }
+}

@@ -1,0 +1,241 @@
+//! Parameter-space sweeps over the fault model.
+//!
+//! The paper explores the whole parameter space of the fault model
+//! exhaustively ("as realistic data about failure patterns in regular SoCs
+//! are currently unavailable"); this module provides the sweep iterators
+//! the experiment harness uses for every figure axis.
+
+use crate::model::{FaultModel, FaultModelBuilder};
+
+/// Evenly spaced values over `[start, end]` inclusive.
+///
+/// # Examples
+///
+/// ```
+/// use noc_faults::linspace;
+///
+/// let v = linspace(0.0, 1.0, 5);
+/// assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `points` is zero.
+pub fn linspace(start: f64, end: f64, points: usize) -> Vec<f64> {
+    assert!(points > 0, "linspace needs at least one point");
+    if points == 1 {
+        return vec![start];
+    }
+    let step = (end - start) / (points - 1) as f64;
+    (0..points).map(|i| start + step * i as f64).collect()
+}
+
+/// A one- or two-dimensional sweep over fault-model parameters.
+///
+/// Produces every combination of the configured axes applied on top of a
+/// base model.
+///
+/// # Examples
+///
+/// ```
+/// use noc_faults::{FaultModel, FaultSweep};
+/// use noc_faults::linspace;
+///
+/// let sweep = FaultSweep::new(FaultModel::none())
+///     .upset(linspace(0.0, 0.9, 4))
+///     .overflow(linspace(0.0, 0.5, 3));
+/// let points: Vec<FaultModel> = sweep.models().collect();
+/// assert_eq!(points.len(), 12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultSweep {
+    base: FaultModel,
+    tiles: Vec<f64>,
+    links: Vec<f64>,
+    upset: Vec<f64>,
+    overflow: Vec<f64>,
+    sigma: Vec<f64>,
+}
+
+impl FaultSweep {
+    /// Starts a sweep anchored at `base` (unswept parameters keep the base
+    /// values).
+    pub fn new(base: FaultModel) -> Self {
+        Self {
+            base,
+            tiles: vec![],
+            links: vec![],
+            upset: vec![],
+            overflow: vec![],
+            sigma: vec![],
+        }
+    }
+
+    /// Values for `p_tiles`.
+    pub fn tiles(mut self, values: Vec<f64>) -> Self {
+        self.tiles = values;
+        self
+    }
+
+    /// Values for `p_links`.
+    pub fn links(mut self, values: Vec<f64>) -> Self {
+        self.links = values;
+        self
+    }
+
+    /// Values for `p_upset`.
+    pub fn upset(mut self, values: Vec<f64>) -> Self {
+        self.upset = values;
+        self
+    }
+
+    /// Values for `p_overflow`.
+    pub fn overflow(mut self, values: Vec<f64>) -> Self {
+        self.overflow = values;
+        self
+    }
+
+    /// Values for `sigma_synch`.
+    pub fn sigma_synch(mut self, values: Vec<f64>) -> Self {
+        self.sigma = values;
+        self
+    }
+
+    /// Iterates over every combination of the configured axes.
+    ///
+    /// Axes that were not configured contribute a single point: the base
+    /// model's value. Models that fail validation (e.g. a probability
+    /// above 1 slipped into an axis) are skipped.
+    pub fn models(&self) -> impl Iterator<Item = FaultModel> + '_ {
+        let one = |v: &Vec<f64>, base: f64| -> Vec<f64> {
+            if v.is_empty() {
+                vec![base]
+            } else {
+                v.clone()
+            }
+        };
+        let tiles = one(&self.tiles, self.base.p_tiles);
+        let links = one(&self.links, self.base.p_links);
+        let upset = one(&self.upset, self.base.p_upset);
+        let overflow = one(&self.overflow, self.base.p_overflow);
+        let sigma = one(&self.sigma, self.base.sigma_synch);
+        let base = self.base;
+
+        tiles.into_iter().flat_map(move |pt| {
+            let links = links.clone();
+            let upset = upset.clone();
+            let overflow = overflow.clone();
+            let sigma = sigma.clone();
+            links.into_iter().flat_map(move |pl| {
+                let upset = upset.clone();
+                let overflow = overflow.clone();
+                let sigma = sigma.clone();
+                upset.into_iter().flat_map(move |pu| {
+                    let overflow = overflow.clone();
+                    let sigma = sigma.clone();
+                    overflow.into_iter().flat_map(move |po| {
+                        let sigma = sigma.clone();
+                        sigma.into_iter().filter_map(move |sg| {
+                            FaultModelBuilder::new()
+                                .p_tiles(pt)
+                                .p_links(pl)
+                                .p_upset(pu)
+                                .p_overflow(po)
+                                .sigma_synch(sg)
+                                .error_model(base.error_model)
+                                .overflow_mode(base.overflow_mode)
+                                .build()
+                                .ok()
+                        })
+                    })
+                })
+            })
+        })
+    }
+
+    /// Number of grid points the sweep will produce (before validation
+    /// filtering).
+    pub fn len(&self) -> usize {
+        let d = |v: &Vec<f64>| v.len().max(1);
+        d(&self.tiles) * d(&self.links) * d(&self.upset) * d(&self.overflow) * d(&self.sigma)
+    }
+
+    /// True if the sweep contains no grid points (never happens via the
+    /// builder API, which always has the base point).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let v = linspace(0.0, 0.9, 10);
+        assert_eq!(v.len(), 10);
+        assert!((v[0] - 0.0).abs() < 1e-12);
+        assert!((v[9] - 0.9).abs() < 1e-12);
+        assert!((v[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linspace_single_point() {
+        assert_eq!(linspace(0.3, 0.9, 1), vec![0.3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn linspace_zero_points_panics() {
+        let _ = linspace(0.0, 1.0, 0);
+    }
+
+    #[test]
+    fn unconfigured_sweep_yields_base() {
+        let base = FaultModel::builder().p_upset(0.2).build().unwrap();
+        let models: Vec<_> = FaultSweep::new(base).models().collect();
+        assert_eq!(models, vec![base]);
+    }
+
+    #[test]
+    fn two_axis_sweep_is_a_cross_product() {
+        let sweep = FaultSweep::new(FaultModel::none())
+            .upset(vec![0.0, 0.5])
+            .tiles(vec![0.0, 0.1, 0.2]);
+        assert_eq!(sweep.len(), 6);
+        let models: Vec<_> = sweep.models().collect();
+        assert_eq!(models.len(), 6);
+        // Every combination present:
+        for pu in [0.0, 0.5] {
+            for pt in [0.0, 0.1, 0.2] {
+                assert!(models.iter().any(|m| m.p_upset == pu && m.p_tiles == pt));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_points_are_filtered() {
+        let sweep = FaultSweep::new(FaultModel::none()).upset(vec![0.5, 1.5]);
+        let models: Vec<_> = sweep.models().collect();
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].p_upset, 0.5);
+    }
+
+    #[test]
+    fn base_settings_propagate() {
+        use crate::model::OverflowMode;
+        use crate::ErrorModel;
+        let base = FaultModel::builder()
+            .error_model(ErrorModel::RandomBitError)
+            .overflow_mode(OverflowMode::Structural { capacity: 4 })
+            .build()
+            .unwrap();
+        let models: Vec<_> = FaultSweep::new(base).upset(vec![0.1]).models().collect();
+        assert_eq!(models[0].error_model, ErrorModel::RandomBitError);
+        assert_eq!(
+            models[0].overflow_mode,
+            OverflowMode::Structural { capacity: 4 }
+        );
+    }
+}

@@ -1,0 +1,78 @@
+//! Reproducibility guarantees: identical `(inputs, seed)` pairs must
+//! produce bit-identical results across every layer of the stack.
+
+use ocsc::noc_apps::mp3::{Mp3App, Mp3Params};
+use ocsc::noc_diversity::{compare_architectures, ComparisonParams};
+use ocsc::noc_fabric::{Grid2d, NodeId};
+use ocsc::noc_faults::FaultModel;
+use ocsc::stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+fn full_model() -> FaultModel {
+    FaultModel::builder()
+        .p_tiles(0.05)
+        .p_links(0.05)
+        .p_upset(0.3)
+        .p_overflow(0.2)
+        .sigma_synch(0.25)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn engine_runs_are_bit_reproducible() {
+    let run = |seed: u64| {
+        let mut sim = SimulationBuilder::new(Grid2d::new(5, 5))
+            .config(StochasticConfig::new(0.5, 16).unwrap().with_max_rounds(80))
+            .fault_model(full_model())
+            .seed(seed)
+            .build();
+        let a = sim.inject(NodeId(0), NodeId(24), b"one".to_vec());
+        let b = sim.inject(NodeId(12), NodeId(3), b"two".to_vec());
+        let report = sim.run();
+        (
+            report.packets_sent,
+            report.bits_sent,
+            report.upsets_detected,
+            report.upsets_undetected,
+            report.overflow_drops,
+            report.crash_drops,
+            report.clock_slips,
+            report.latency(a),
+            report.latency(b),
+        )
+    };
+    assert_eq!(run(7), run(7));
+    assert_ne!(run(7), run(8), "different seeds must diverge");
+}
+
+#[test]
+fn application_outcomes_are_reproducible() {
+    let run = || {
+        let outcome = Mp3App::new(Mp3Params {
+            frames: 8,
+            fault_model: full_model(),
+            config: StochasticConfig::new(0.7, 20).unwrap().with_max_rounds(400),
+            seed: 11,
+            ..Mp3Params::default()
+        })
+        .run();
+        (
+            outcome.frames_delivered,
+            outcome.output_bits,
+            outcome.arrival_rounds.clone(),
+            outcome.report.packets_sent,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn architecture_comparison_is_reproducible() {
+    let run = || {
+        compare_architectures(&ComparisonParams::quick())
+            .into_iter()
+            .map(|r| (r.latency_rounds, r.transmissions))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(run(), run());
+}
