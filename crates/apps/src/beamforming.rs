@@ -398,8 +398,7 @@ mod tests {
                 seed,
                 ..BeamformingParams::for_sensors(4)
             };
-            run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params)
-                .output_power
+            run_on_topology(Topology::grid(4, 4), &grid_sensors(), NodeId(5), params).output_power
         };
         assert_eq!(run(1).to_bits(), run(1).to_bits());
     }

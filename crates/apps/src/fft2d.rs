@@ -342,13 +342,7 @@ impl Fft2dApp {
         for (_, tiles) in &assignments {
             for &tile in tiles {
                 if mapped.insert(tile) {
-                    builder = builder.with_ip(
-                        tile,
-                        Box::new(WorkerIp {
-                            root,
-                            done: false,
-                        }),
-                    );
+                    builder = builder.with_ip(tile, Box::new(WorkerIp { root, done: false }));
                 }
             }
         }

@@ -139,12 +139,7 @@ pub fn random_mapping(graph: &TrafficGraph, grid: &Grid2d, seed: u64) -> Mapping
 ///
 /// Panics if the grid has fewer tiles than the graph has roles or
 /// `restarts` is zero.
-pub fn optimize_mapping(
-    graph: &TrafficGraph,
-    grid: &Grid2d,
-    restarts: u32,
-    seed: u64,
-) -> Mapping {
+pub fn optimize_mapping(graph: &TrafficGraph, grid: &Grid2d, restarts: u32, seed: u64) -> Mapping {
     assert!(restarts > 0, "at least one restart required");
     let tiles = grid.width() * grid.height();
     let mut best: Option<Mapping> = None;

@@ -220,8 +220,14 @@ impl MasterSlaveApp {
     /// tiles, or any count is zero.
     pub fn new(params: MasterSlaveParams) -> Self {
         let tiles = params.grid_side * params.grid_side;
-        assert!(params.slaves > 0 && params.replication > 0, "counts must be positive");
-        assert!(params.terms >= params.slaves as u64, "fewer terms than slaves");
+        assert!(
+            params.slaves > 0 && params.replication > 0,
+            "counts must be positive"
+        );
+        assert!(
+            params.terms >= params.slaves as u64,
+            "fewer terms than slaves"
+        );
         assert!(
             params.slaves * params.replication < tiles,
             "{} tiles cannot host 1 master + {}x{} slaves",
@@ -341,7 +347,10 @@ mod tests {
         assert!(outcome.completed);
         let pi = outcome.pi_estimate.unwrap();
         assert!((pi - std::f64::consts::PI).abs() < 1e-6, "pi = {pi}");
-        assert!(outcome.completion_round.unwrap() >= 2, "scatter+compute+gather");
+        assert!(
+            outcome.completion_round.unwrap() >= 2,
+            "scatter+compute+gather"
+        );
         assert_eq!(outcome.partials_collected, 8);
     }
 
@@ -410,7 +419,9 @@ mod tests {
     fn survives_moderate_upsets() {
         let params = MasterSlaveParams {
             fault_model: FaultModel::builder().p_upset(0.3).build().unwrap(),
-            config: StochasticConfig::new(0.75, 20).unwrap().with_max_rounds(400),
+            config: StochasticConfig::new(0.75, 20)
+                .unwrap()
+                .with_max_rounds(400),
             seed: 11,
             ..MasterSlaveParams::default()
         };

@@ -587,12 +587,7 @@ impl Mp3App {
         let mut sim = builder.build();
         let report = sim.run();
         let state = state.borrow();
-        let output_bits: u64 = state
-            .frame_bits
-            .iter()
-            .flatten()
-            .map(|&b| b as u64)
-            .sum();
+        let output_bits: u64 = state.frame_bits.iter().flatten().map(|&b| b as u64).sum();
         Mp3Outcome {
             completed: state.delivered == p.frames,
             completion_round: state.completion_round,
@@ -639,13 +634,8 @@ mod tests {
             assert!(coeffs.iter().all(|c| c.is_finite()));
         }
         // Non-silent programme material quantizes to non-zero spectra.
-        let any_energy = (0..6).any(|f| {
-            outcome
-                .decode_granule(f)
-                .unwrap()
-                .iter()
-                .any(|&c| c != 0.0)
-        });
+        let any_energy =
+            (0..6).any(|f| outcome.decode_granule(f).unwrap().iter().any(|&c| c != 0.0));
         assert!(any_energy, "decoded granules are all silence");
     }
 
@@ -732,10 +722,7 @@ mod tests {
             ..quick_params(10)
         };
         let outcome = Mp3App::new(params).run();
-        assert!(
-            !outcome.completed,
-            "97% overflow should prevent completion"
-        );
+        assert!(!outcome.completed, "97% overflow should prevent completion");
     }
 
     #[test]
@@ -800,9 +787,7 @@ mod tests {
         schedule.kill_tile(relay.index(), 0);
         let params = Mp3Params {
             crash_schedule: schedule,
-            config: StochasticConfig::new(0.7, 20)
-                .unwrap()
-                .with_max_rounds(600),
+            config: StochasticConfig::new(0.7, 20).unwrap().with_max_rounds(600),
             seed: 5,
             ..quick_params(10)
         };

@@ -218,8 +218,7 @@ mod tests {
         max_rounds: u64,
         seed: u64,
     ) -> (TransferStatus, Vec<Option<Vec<u8>>>) {
-        let (sender, receiver, status, inbox) =
-            reliable_pair(NodeId(0), NodeId(15), items, 10);
+        let (sender, receiver, status, inbox) = reliable_pair(NodeId(0), NodeId(15), items, 10);
         let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
             .config(
                 StochasticConfig::new(0.6, 12)

@@ -12,9 +12,18 @@ fn bench_fault_sweeps(c: &mut Criterion) {
     group.sample_size(10);
 
     for (label, model) in [
-        ("upset 0.3", FaultModel::builder().p_upset(0.3).build().unwrap()),
-        ("overflow 0.3", FaultModel::builder().p_overflow(0.3).build().unwrap()),
-        ("sigma 0.3", FaultModel::builder().sigma_synch(0.3).build().unwrap()),
+        (
+            "upset 0.3",
+            FaultModel::builder().p_upset(0.3).build().unwrap(),
+        ),
+        (
+            "overflow 0.3",
+            FaultModel::builder().p_overflow(0.3).build().unwrap(),
+        ),
+        (
+            "sigma 0.3",
+            FaultModel::builder().sigma_synch(0.3).build().unwrap(),
+        ),
     ] {
         group.bench_function(format!("master-slave under {label}"), |b| {
             let mut seed = 0u64;

@@ -1,0 +1,46 @@
+//! Benchmarks the parallel Monte-Carlo [`TrialRunner`] against its own
+//! single-worker mode on a real simulation workload.
+//!
+//! On a machine with ≥4 cores the `parallel-auto` variant should report
+//! at least a 2× lower time per iteration than `serial-1`; on a
+//! single-core host the two coincide (the runner falls back to the
+//! serial fast path).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use noc_experiments::TrialRunner;
+use stochastic_noc::spread;
+
+/// Trials per runner invocation. Large enough that worker start-up cost
+/// is amortised, small enough for quick iterations.
+const TRIALS: u64 = 32;
+
+/// One CPU-bound trial: the Figure 3-1 rumor spread at reduced size.
+fn rumor_trial(seed: u64) -> usize {
+    let curve = spread::simulate_rumor(400, 16, seed);
+    curve.last().copied().unwrap_or(0)
+}
+
+fn bench_runner(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runner");
+    group.throughput(Throughput::Elements(TRIALS));
+
+    group.bench_function("serial-1", |b| {
+        b.iter(|| {
+            let informed = TrialRunner::new(2003, TRIALS).threads(1).run(rumor_trial);
+            black_box(informed)
+        })
+    });
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    group.bench_function(format!("parallel-auto({workers})"), |b| {
+        b.iter(|| {
+            let informed = TrialRunner::new(2003, TRIALS).run(rumor_trial);
+            black_box(informed)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_runner);
+criterion_main!(benches);

@@ -295,8 +295,7 @@ impl BusSimulation {
             };
             let transfer = pending.remove(winner_idx);
             let grant_time = now.max(transfer.submit_time);
-            let duration =
-                transfer.bits().bits() as f64 / self.config.tech.max_frequency.hertz();
+            let duration = transfer.bits().bits() as f64 / self.config.tech.max_frequency.hertz();
             let finish_time = grant_time + duration;
             total_bits += transfer.bits();
             rr_next = (transfer.source + 1) % self.modules;

@@ -426,7 +426,8 @@ impl Simulation {
         };
 
         // Shift the delay line: frames due now, frames due next round.
-        let current: Vec<Vec<Frame>> = std::mem::replace(&mut self.inbox_next, std::mem::take(&mut self.inbox_later));
+        let current: Vec<Vec<Frame>> =
+            std::mem::replace(&mut self.inbox_next, std::mem::take(&mut self.inbox_later));
         self.inbox_later = vec![Vec::new(); n];
 
         // Phase 1: receive.
@@ -830,7 +831,10 @@ mod tests {
         let id = sim.inject(NodeId(5), NodeId(11), b"payload".to_vec());
         let report = sim.run();
         assert!(report.delivered(id), "redundancy defeats 30% upsets");
-        assert!(report.upsets_detected > 0, "some upsets must have been caught");
+        assert!(
+            report.upsets_detected > 0,
+            "some upsets must have been caught"
+        );
     }
 
     #[test]
@@ -896,7 +900,12 @@ mod tests {
                 .build();
             sim.inject(NodeId(5), NodeId(11), b"x".to_vec());
             let r = sim.run();
-            (r.packets_sent, r.upsets_detected, r.overflow_drops, r.rounds_executed)
+            (
+                r.packets_sent,
+                r.upsets_detected,
+                r.overflow_drops,
+                r.rounds_executed,
+            )
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
@@ -971,8 +980,19 @@ mod tests {
         let got = Rc::new(RefCell::new(None));
         let mut sim = SimulationBuilder::new(grid4())
             .config(StochasticConfig::flooding(12))
-            .with_ip(NodeId(5), Box::new(Producer { to: NodeId(11), sent: false }))
-            .with_ip(NodeId(11), Box::new(Consumer { got: Rc::clone(&got) }))
+            .with_ip(
+                NodeId(5),
+                Box::new(Producer {
+                    to: NodeId(11),
+                    sent: false,
+                }),
+            )
+            .with_ip(
+                NodeId(11),
+                Box::new(Consumer {
+                    got: Rc::clone(&got),
+                }),
+            )
             .seed(16)
             .build();
         let report = sim.run();

@@ -170,7 +170,10 @@ impl SimulationReport {
 
     /// Worst delivery latency over delivered messages, in rounds.
     pub fn max_latency(&self) -> Option<u64> {
-        self.records.values().filter_map(MessageRecord::latency).max()
+        self.records
+            .values()
+            .filter_map(MessageRecord::latency)
+            .max()
     }
 
     /// Total communication energy under Equation 3.

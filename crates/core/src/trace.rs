@@ -58,7 +58,12 @@ impl SpreadTrace {
         let start = sim.round();
         while !sim.is_complete() && sim.round() < start + max_rounds {
             let stats: RoundStats = sim.step();
-            snapshots.push(Self::snapshot(sim, message, stats.round, stats.transmissions));
+            snapshots.push(Self::snapshot(
+                sim,
+                message,
+                stats.round,
+                stats.transmissions,
+            ));
         }
         Self { message, snapshots }
     }
@@ -102,10 +107,7 @@ impl SpreadTrace {
 
     /// First snapshot index at which the message was delivered, if any.
     pub fn delivery_round(&self) -> Option<u64> {
-        self.snapshots
-            .iter()
-            .find(|s| s.delivered)
-            .map(|s| s.round)
+        self.snapshots.iter().find(|s| s.delivered).map(|s| s.round)
     }
 
     /// Renders one snapshot as an ASCII grid: `#` informed, `.` not,

@@ -53,7 +53,10 @@ impl fmt::Display for DecodeError {
                 write!(f, "frame of {len} bytes shorter than {min}-byte crc tag")
             }
             DecodeError::CrcMismatch { computed, received } => {
-                write!(f, "crc mismatch: computed {computed:#x}, received {received:#x}")
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#x}, received {received:#x}"
+                )
             }
         }
     }

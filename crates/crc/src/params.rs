@@ -146,7 +146,11 @@ impl CrcParams {
 
 impl fmt::Display for CrcParams {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} (poly {:#x}, width {})", self.name, self.poly, self.width)
+        write!(
+            f,
+            "{} (poly {:#x}, width {})",
+            self.name, self.poly, self.width
+        )
     }
 }
 

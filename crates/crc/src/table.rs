@@ -60,7 +60,12 @@ impl TableCrc {
             if params.reflect_in {
                 reg = reflect(reg, shift_width);
             }
-            *slot = reg & if shift_width == 64 { u64::MAX } else { (1 << shift_width) - 1 };
+            *slot = reg
+                & if shift_width == 64 {
+                    u64::MAX
+                } else {
+                    (1 << shift_width) - 1
+                };
         }
         // Keep mask around implicitly via params.
         let _ = mask;
@@ -120,7 +125,11 @@ mod tests {
     #[test]
     fn table_has_identity_entry() {
         let crc = TableCrc::new(CrcParams::CRC16_CCITT);
-        assert_eq!(crc.table()[0], 0, "processing a zero byte from a zero register stays zero");
+        assert_eq!(
+            crc.table()[0],
+            0,
+            "processing a zero byte from a zero register stays zero"
+        );
     }
 
     proptest! {

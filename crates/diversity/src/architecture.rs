@@ -303,9 +303,7 @@ mod tests {
         let a = Architecture::hierarchical(3);
         let bridge = a.bridge().unwrap();
         // Removing the bridge disconnects the quadrants.
-        let connected = a
-            .topology()
-            .is_connected_with(|n| n != bridge, |_| true);
+        let connected = a.topology().is_connected_with(|n| n != bridge, |_| true);
         assert!(!connected);
     }
 
@@ -317,9 +315,7 @@ mod tests {
             Architecture::bus_connected(3),
         ] {
             let mut tiles: Vec<NodeId> = (0..4)
-                .flat_map(|q| {
-                    (0..3).flat_map(move |y| (0..3).map(move |x| (q, x, y)))
-                })
+                .flat_map(|q| (0..3).flat_map(move |y| (0..3).map(move |x| (q, x, y))))
                 .map(|(q, x, y)| arch.tile(q, x, y))
                 .collect();
             let n = tiles.len();
@@ -370,9 +366,7 @@ mod tests {
         let a = Architecture::gateway_mesh(3);
         for q in 0..4 {
             let dead = a.gateway(q);
-            let still_connected = a
-                .topology()
-                .is_connected_with(|n| n != dead, |_| true);
+            let still_connected = a.topology().is_connected_with(|n| n != dead, |_| true);
             // Killing gateway q isolates only quadrant q's remaining
             // tiles; check the other quadrants still reach each other.
             let others: Vec<_> = (0..4).filter(|&o| o != q).collect();
@@ -388,12 +382,7 @@ mod tests {
         }
     }
 
-    fn path_exists(
-        a: &Architecture,
-        from: NodeId,
-        to: NodeId,
-        dead: NodeId,
-    ) -> bool {
+    fn path_exists(a: &Architecture, from: NodeId, to: NodeId, dead: NodeId) -> bool {
         // BFS avoiding the dead node.
         let t = a.topology();
         let mut seen = vec![false; t.node_count()];

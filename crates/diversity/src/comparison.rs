@@ -120,7 +120,9 @@ fn run_one(arch: &Architecture, params: &ComparisonParams) -> ArchitectureResult
     if let Some((node, limit)) = arch.bridge_egress_limit() {
         // The shared bus serializes (egress limit) but every transaction
         // it does carry is a reliable broadcast to all listeners (p = 1).
-        builder = builder.egress_limit(node, limit).forward_probability_at(node, 1.0);
+        builder = builder
+            .egress_limit(node, limit)
+            .forward_probability_at(node, 1.0);
     }
     let bf_params = BeamformingParams {
         blocks: params.blocks,
@@ -134,9 +136,7 @@ fn run_one(arch: &Architecture, params: &ComparisonParams) -> ArchitectureResult
     ArchitectureResult {
         kind: arch.kind(),
         completed: outcome.completed,
-        latency_rounds: outcome
-            .completion_round
-            .unwrap_or(params.config.max_rounds),
+        latency_rounds: outcome.completion_round.unwrap_or(params.config.max_rounds),
         transmissions: outcome.report.packets_sent,
         energy_joules: outcome.report.total_energy().joules(),
     }

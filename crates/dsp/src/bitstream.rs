@@ -173,7 +173,11 @@ impl<'a> BitReader<'a> {
                 return None; // corrupt stream
             }
         }
-        let rest = if zeros == 0 { 0 } else { self.read_bits(zeros)? };
+        let rest = if zeros == 0 {
+            0
+        } else {
+            self.read_bits(zeros)?
+        };
         let z = (1u64 << zeros | rest) - 1;
         Some(unzigzag(z))
     }

@@ -227,7 +227,8 @@ mod tests {
         let mut data: Vec<Complex64> = (0..rows * cols)
             .map(|i| {
                 let (r, c) = (i / cols, i % cols);
-                let phase = 2.0 * std::f64::consts::PI
+                let phase = 2.0
+                    * std::f64::consts::PI
                     * ((k0 * r) as f64 / rows as f64 + (l0 * c) as f64 / cols as f64);
                 Complex64::from_polar(1.0, phase)
             })

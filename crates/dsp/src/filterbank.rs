@@ -83,9 +83,8 @@ impl PolyphaseFilterbank {
             .map(|k| {
                 let mut acc = 0.0;
                 for n in 0..len {
-                    let phase = PI / m as f64
-                        * (k as f64 + 0.5)
-                        * (n as f64 - m as f64 / 2.0 + 0.5);
+                    let phase =
+                        PI / m as f64 * (k as f64 + 0.5) * (n as f64 - m as f64 / 2.0 + 0.5);
                     acc += self.prototype[n] * self.state[n] * phase.cos();
                 }
                 acc
@@ -108,9 +107,7 @@ impl PolyphaseFilterbank {
         for (n, f) in frame.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (k, &s) in subbands.iter().enumerate() {
-                let phase = PI / m as f64
-                    * (k as f64 + 0.5)
-                    * (n as f64 - m as f64 / 2.0 + 0.5);
+                let phase = PI / m as f64 * (k as f64 + 0.5) * (n as f64 - m as f64 / 2.0 + 0.5);
                 acc += s * phase.cos();
             }
             *f = acc * self.prototype[n] * 2.0 / m as f64;

@@ -35,8 +35,8 @@
 
 pub mod bitstream;
 mod complex;
-pub mod filterbank;
 mod fft;
+pub mod filterbank;
 mod mdct;
 pub mod psycho;
 pub mod quantize;

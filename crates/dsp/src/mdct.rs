@@ -29,7 +29,10 @@ use crate::window::sine_window;
 /// ```
 pub fn mdct(frame: &[f64]) -> Vec<f64> {
     let n = frame.len();
-    assert!(n > 0 && n.is_multiple_of(2), "mdct frame length must be positive and even");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "mdct frame length must be positive and even"
+    );
     let m = n / 2;
     let mut out = Vec::with_capacity(m);
     for k in 0..m {
@@ -107,7 +110,10 @@ impl MdctFrame {
     ///
     /// Panics if `n` is odd or below 4.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4 && n.is_multiple_of(2), "frame length must be even and at least 4");
+        assert!(
+            n >= 4 && n.is_multiple_of(2),
+            "frame length must be even and at least 4"
+        );
         Self {
             frame_len: n,
             window: sine_window(n),
@@ -129,7 +135,11 @@ impl MdctFrame {
     /// Panics if `samples.len() != hop()`.
     pub fn analyze(&mut self, samples: &[f64]) -> Vec<f64> {
         let m = self.hop();
-        assert_eq!(samples.len(), m, "analyze expects exactly one hop of samples");
+        assert_eq!(
+            samples.len(),
+            m,
+            "analyze expects exactly one hop of samples"
+        );
         let mut frame = Vec::with_capacity(self.frame_len);
         frame.extend_from_slice(&self.history);
         frame.extend_from_slice(samples);
@@ -148,7 +158,11 @@ impl MdctFrame {
     /// Panics if `coeffs.len() != hop()`.
     pub fn synthesize(&mut self, coeffs: &[f64]) -> Vec<f64> {
         let m = self.hop();
-        assert_eq!(coeffs.len(), m, "synthesize expects exactly one hop of coefficients");
+        assert_eq!(
+            coeffs.len(),
+            m,
+            "synthesize expects exactly one hop of coefficients"
+        );
         let mut frame = imdct(coeffs);
         for (x, w) in frame.iter_mut().zip(&self.window) {
             *x *= w;

@@ -109,8 +109,7 @@ impl PsychoModel {
     pub fn analyze(&self, samples: &[f64]) -> MaskingAnalysis {
         assert_eq!(samples.len(), self.frame_len, "wrong frame length");
         // Magnitude spectrum of the (un-windowed — simplified) frame.
-        let mut spectrum: Vec<Complex64> =
-            samples.iter().map(|&x| Complex64::from_re(x)).collect();
+        let mut spectrum: Vec<Complex64> = samples.iter().map(|&x| Complex64::from_re(x)).collect();
         fft(&mut spectrum);
         let half = self.frame_len / 2;
         let bins_per_band = half / self.bands;

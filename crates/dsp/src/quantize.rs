@@ -195,7 +195,9 @@ mod tests {
 
     #[test]
     fn rate_control_fits_budget() {
-        let coeffs: Vec<f64> = (0..128).map(|n| ((n * n) as f64 * 0.01).sin() * 4.0).collect();
+        let coeffs: Vec<f64> = (0..128)
+            .map(|n| ((n * n) as f64 * 0.01).sin() * 4.0)
+            .collect();
         for budget in [300, 600, 1200] {
             let r = rate_control(&coeffs, budget);
             assert!(r.bits <= budget, "budget {budget}: used {}", r.bits);

@@ -33,7 +33,10 @@ pub fn hann_window(n: usize) -> Vec<f64> {
 ///
 /// Panics if `n` is zero or odd.
 pub fn sine_window(n: usize) -> Vec<f64> {
-    assert!(n > 0 && n.is_multiple_of(2), "sine window length must be positive and even");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "sine window length must be positive and even"
+    );
     (0..n)
         .map(|j| (std::f64::consts::PI / n as f64 * (j as f64 + 0.5)).sin())
         .collect()

@@ -107,8 +107,7 @@ mod tests {
 
     #[test]
     fn link_is_roughly_nine_times_faster() {
-        let r =
-            TechnologyLibrary::NOC_LINK_0_25UM.frequency_ratio(&TechnologyLibrary::BUS_0_25UM);
+        let r = TechnologyLibrary::NOC_LINK_0_25UM.frequency_ratio(&TechnologyLibrary::BUS_0_25UM);
         assert!((r - 381.0 / 43.0).abs() < 1e-9);
     }
 

@@ -14,7 +14,7 @@ use noc_faults::{FaultModel, OverflowMode};
 use stochastic_noc::{SimulationBuilder, StochasticConfig};
 
 use crate::stats::mean;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One ablation row: a labelled variant with its measured behaviour.
 #[derive(Debug, Clone)]
@@ -34,26 +34,34 @@ pub struct AblationRow {
 }
 
 fn probe(
-    builder: impl Fn(u64) -> SimulationBuilder,
+    builder: impl Fn(u64) -> SimulationBuilder + Sync,
     reps: u64,
     group: &'static str,
     variant: String,
 ) -> AblationRow {
-    let mut delivered = 0u64;
-    let mut latencies = Vec::new();
-    let mut packets = Vec::new();
-    let mut undetected = Vec::new();
-    for seed in 0..reps {
+    let label = format!("ablations/{group}/{variant}");
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| {
         let mut sim = builder(seed).build();
         let n = sim.node_count();
         let id = sim.inject(NodeId(0), NodeId(n - 1), vec![0x5A; 16]);
         let report = sim.run();
-        if let Some(l) = report.latency(id) {
+        (
+            report.latency(id),
+            report.packets_sent as f64,
+            report.upsets_undetected as f64,
+        )
+    });
+    let mut delivered = 0u64;
+    let mut latencies = Vec::new();
+    let mut packets = Vec::new();
+    let mut undetected = Vec::new();
+    for (latency, sent, upsets) in outcomes {
+        if let Some(l) = latency {
             delivered += 1;
             latencies.push(l as f64);
         }
-        packets.push(report.packets_sent as f64);
-        undetected.push(report.upsets_undetected as f64);
+        packets.push(sent);
+        undetected.push(upsets);
     }
     AblationRow {
         group,
@@ -125,7 +133,10 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
     ));
 
     // 3. CRC width under heavy upsets.
-    for (label, params) in [("crc-8", CrcParams::CRC8_ATM), ("crc-16", CrcParams::CRC16_CCITT)] {
+    for (label, params) in [
+        ("crc-8", CrcParams::CRC8_ATM),
+        ("crc-16", CrcParams::CRC16_CCITT),
+    ] {
         let upsets = FaultModel::builder().p_upset(0.5).build().expect("valid");
         rows.push(probe(
             move |seed| {
@@ -145,7 +156,11 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
     rows.push(probe(
         |seed| {
             SimulationBuilder::new(Topology::grid(6, 6))
-                .config(StochasticConfig::new(0.5, 20).expect("valid").with_max_rounds(60))
+                .config(
+                    StochasticConfig::new(0.5, 20)
+                        .expect("valid")
+                        .with_max_rounds(60),
+                )
                 .seed(seed)
         },
         reps,
@@ -155,7 +170,11 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
     rows.push(probe(
         |seed| {
             SimulationBuilder::new(Topology::torus(6, 6))
-                .config(StochasticConfig::new(0.5, 20).expect("valid").with_max_rounds(60))
+                .config(
+                    StochasticConfig::new(0.5, 20)
+                        .expect("valid")
+                        .with_max_rounds(60),
+                )
                 .seed(seed)
         },
         reps,
@@ -170,7 +189,14 @@ pub fn run(scale: Scale) -> Vec<AblationRow> {
 pub fn print(rows: &[AblationRow]) {
     crate::stats::print_table_header(
         "Ablations: design-choice impact on one diameter-spanning broadcast",
-        &["group", "variant", "delivery", "latency [rounds]", "packets", "undetected"],
+        &[
+            "group",
+            "variant",
+            "delivery",
+            "latency [rounds]",
+            "packets",
+            "undetected",
+        ],
     );
     for r in rows {
         println!(

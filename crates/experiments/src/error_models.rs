@@ -14,7 +14,7 @@ use noc_faults::{bit_error_probability, vector_probability, ErrorModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One row of the error-model table.
 #[derive(Debug, Clone)]
@@ -43,28 +43,38 @@ pub fn run(scale: Scale) -> Vec<ErrorModelRow> {
         Scale::Full => 400_000,
     };
     let message = b"on-chip stochastic communication packet";
-    let mut rows = Vec::new();
-    for crc in [CrcParams::CRC5_USB, CrcParams::CRC8_ATM, CrcParams::CRC16_CCITT] {
+    // Each (CRC, model) row is an independent Monte-Carlo experiment, so
+    // the rows themselves are the runner's trials: every row draws its
+    // vectors from its own derived seed stream.
+    let mut combos = Vec::new();
+    for crc in [
+        CrcParams::CRC5_USB,
+        CrcParams::CRC8_ATM,
+        CrcParams::CRC16_CCITT,
+    ] {
         for model in [ErrorModel::RandomErrorVector, ErrorModel::RandomBitError] {
-            let framed_len = message.len() + crc.tag_bytes();
-            let mut rng = StdRng::seed_from_u64(2003);
-            let vectors = (0..trials).map(|_| {
-                let mut v = vec![0u8; framed_len];
-                model.scramble(&mut rng, &mut v, 0.5);
-                v
-            });
-            let undetected = undetected_fraction(crc, message, vectors);
-            rows.push(ErrorModelRow {
-                crc,
-                model,
-                message_bytes: message.len(),
-                trials,
-                undetected,
-                theory_rev: 2f64.powi(-8 * crc.tag_bytes() as i32),
-            });
+            combos.push((crc, model));
         }
     }
-    rows
+    TrialRunner::for_figure("error-models", combos.len() as u64).run_indexed(|index, seed| {
+        let (crc, model) = combos[index];
+        let framed_len = message.len() + crc.tag_bytes();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vectors = (0..trials).map(|_| {
+            let mut v = vec![0u8; framed_len];
+            model.scramble(&mut rng, &mut v, 0.5);
+            v
+        });
+        let undetected = undetected_fraction(crc, message, vectors);
+        ErrorModelRow {
+            crc,
+            model,
+            message_bytes: message.len(),
+            trials,
+            undetected,
+            theory_rev: 2f64.powi(-8 * crc.tag_bytes() as i32),
+        }
+    })
 }
 
 /// Prints the table, plus the Chapter 2 probability formulas at sample
@@ -72,7 +82,13 @@ pub fn run(scale: Scale) -> Vec<ErrorModelRow> {
 pub fn print(rows: &[ErrorModelRow]) {
     crate::stats::print_table_header(
         "Chapter 2: error models and CRC residual error rates",
-        &["crc", "model", "trials", "undetected", "theory (REV: 2^-tagbits)"],
+        &[
+            "crc",
+            "model",
+            "trials",
+            "undetected",
+            "theory (REV: 2^-tagbits)",
+        ],
     );
     for r in rows {
         println!(
@@ -135,7 +151,10 @@ mod tests {
         // generator can escape. Wide CRCs essentially never leak; CRC-5
         // leaks ~1% (weight-2 escapes beyond the order of x mod G).
         let rows = run(Scale::Quick);
-        for r in rows.iter().filter(|r| r.model == ErrorModel::RandomBitError) {
+        for r in rows
+            .iter()
+            .filter(|r| r.model == ErrorModel::RandomBitError)
+        {
             let bound = match r.crc.width {
                 5 => 5e-2,
                 _ => 5e-3,

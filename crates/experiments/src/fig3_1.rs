@@ -3,7 +3,7 @@
 
 use stochastic_noc::spread;
 
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One round of the spread curve.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,10 +22,11 @@ pub fn run(scale: Scale) -> Vec<SpreadPoint> {
     let rounds = 20;
     let theory = spread::deterministic_curve(n, rounds);
     let reps = scale.repetitions();
+    let runs =
+        TrialRunner::for_figure("fig3-1", reps).run(|seed| spread::simulate_rumor(n, rounds, seed));
     let mut sim_avg = vec![0.0f64; rounds + 1];
-    for seed in 0..reps {
-        let sim = spread::simulate_rumor(n, rounds, seed);
-        for (acc, &s) in sim_avg.iter_mut().zip(&sim) {
+    for sim in &runs {
+        for (acc, &s) in sim_avg.iter_mut().zip(sim) {
             *acc += s as f64 / reps as f64;
         }
     }

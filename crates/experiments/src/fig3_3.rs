@@ -5,7 +5,7 @@
 use noc_fabric::{Grid2d, NodeId};
 use stochastic_noc::{SimulationBuilder, StochasticConfig};
 
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Trace of one producer–consumer gossip spread.
 #[derive(Debug, Clone)]
@@ -21,45 +21,47 @@ pub struct ProducerConsumerTrace {
 /// Runs the producer (tile 6, 0-based 5) → consumer (tile 12, 0-based
 /// 11) example at `p = 0.5` on a 4×4 grid.
 pub fn run(scale: Scale) -> Vec<ProducerConsumerTrace> {
-    (0..scale.repetitions())
-        .map(|seed| {
-            let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
-                .config(StochasticConfig::new(0.5, 12).expect("valid").with_max_rounds(40))
-                .seed(seed)
-                .build();
-            let id = sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
-            let mut informed = vec![sim.informed_count(id)];
-            while !sim.is_complete() && sim.round() < 40 {
-                sim.step();
-                informed.push(sim.informed_count(id));
-            }
-            let report = sim.into_report();
-            ProducerConsumerTrace {
-                informed_per_round: informed,
-                delivery_round: report.latency(id),
-                packets_sent: report.packets_sent,
-            }
-        })
-        .collect()
+    TrialRunner::for_figure("fig3-3", scale.repetitions()).run(|seed| {
+        let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+            .config(
+                StochasticConfig::new(0.5, 12)
+                    .expect("valid")
+                    .with_max_rounds(40),
+            )
+            .seed(seed)
+            .build();
+        let id = sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
+        let mut informed = vec![sim.informed_count(id)];
+        while !sim.is_complete() && sim.round() < 40 {
+            sim.step();
+            informed.push(sim.informed_count(id));
+        }
+        let report = sim.into_report();
+        ProducerConsumerTrace {
+            informed_per_round: informed,
+            delivery_round: report.latency(id),
+            packets_sent: report.packets_sent,
+        }
+    })
 }
 
 /// Prints the per-round awareness trace of each run.
 pub fn print(traces: &[ProducerConsumerTrace]) {
     crate::stats::print_table_header(
         "Figure 3-3: producer (tile 6) -> consumer (tile 12), 4x4 grid, p=0.5",
-        &["run", "delivery round", "packets", "informed tiles per round"],
+        &[
+            "run",
+            "delivery round",
+            "packets",
+            "informed tiles per round",
+        ],
     );
     for (i, t) in traces.iter().enumerate() {
-        let spread: Vec<String> = t
-            .informed_per_round
-            .iter()
-            .map(|c| c.to_string())
-            .collect();
+        let spread: Vec<String> = t.informed_per_round.iter().map(|c| c.to_string()).collect();
         println!(
             "{}\t{}\t{}\t{}",
             i,
-            t.delivery_round
-                .map_or("-".to_string(), |r| r.to_string()),
+            t.delivery_round.map_or("-".to_string(), |r| r.to_string()),
             t.packets_sent,
             spread.join(",")
         );

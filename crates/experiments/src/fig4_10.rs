@@ -11,7 +11,7 @@ use noc_faults::FaultModel;
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean_std;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Which fault axis a row sweeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -58,9 +58,11 @@ pub fn run(scale: Scale) -> Vec<LatencyPoint> {
 
 fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> LatencyPoint {
     let reps = scale.repetitions();
-    let mut latencies = Vec::new();
-    let mut completions = 0;
-    for seed in 0..reps {
+    let label = match axis {
+        Axis::DroppedPackets(d) => format!("fig4-10/dropped={d:.2}"),
+        Axis::SigmaSynch(s) => format!("fig4-10/sigma={s:.2}"),
+    };
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| {
         let params = Mp3Params {
             frames: 8,
             config: StochasticConfig::new(0.6, 20)
@@ -70,7 +72,11 @@ fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> LatencyPoint {
             seed,
             ..Mp3Params::default()
         };
-        let outcome = Mp3App::new(params).run();
+        Mp3App::new(params).run()
+    });
+    let mut latencies = Vec::new();
+    let mut completions = 0;
+    for outcome in outcomes {
         if outcome.completed {
             completions += 1;
             if let Some(r) = outcome.completion_round {

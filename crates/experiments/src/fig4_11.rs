@@ -10,7 +10,7 @@ use noc_faults::FaultModel;
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean_std;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Which fault axis a row sweeps.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,11 +59,11 @@ pub fn run(scale: Scale) -> Vec<BitratePoint> {
 
 fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> BitratePoint {
     let reps = scale.repetitions();
-    let mut rates = Vec::new();
-    let mut jitters = Vec::new();
-    let mut delivered = 0u64;
-    let mut requested = 0u64;
-    for seed in 0..reps {
+    let label = match axis {
+        Axis::DroppedPackets(d) => format!("fig4-11/dropped={d:.2}"),
+        Axis::SigmaSynch(s) => format!("fig4-11/sigma={s:.2}"),
+    };
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| {
         let params = Mp3Params {
             frames: 12,
             config: StochasticConfig::new(0.6, 20)
@@ -73,7 +73,13 @@ fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> BitratePoint {
             seed,
             ..Mp3Params::default()
         };
-        let outcome = Mp3App::new(params).run();
+        Mp3App::new(params).run()
+    });
+    let mut rates = Vec::new();
+    let mut jitters = Vec::new();
+    let mut delivered = 0u64;
+    let mut requested = 0u64;
+    for outcome in outcomes {
         delivered += outcome.frames_delivered as u64;
         requested += outcome.frames_requested as u64;
         if let Some(rate) = outcome.bitrate_per_round() {
@@ -97,7 +103,14 @@ fn run_point(axis: Axis, model: FaultModel, scale: Scale) -> BitratePoint {
 pub fn print(rows: &[BitratePoint]) {
     crate::stats::print_table_header(
         "Figure 4-11: MP3 output bit-rate vs dropped packets / sync errors",
-        &["axis", "level", "bitrate [bits/round]", "std", "jitter", "frames"],
+        &[
+            "axis",
+            "level",
+            "bitrate [bits/round]",
+            "std",
+            "jitter",
+            "frames",
+        ],
     );
     for r in rows {
         let (axis, level) = match r.axis {

@@ -13,7 +13,7 @@ use noc_faults::{CrashSchedule, FaultInjector, FaultModel};
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean_std;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Which case study a row belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,70 +95,71 @@ fn run_point(case: CaseStudy, p: f64, dead_tiles: usize, scale: Scale) -> CaseSt
     let config = StochasticConfig::new(p, 16)
         .expect("valid config")
         .with_max_rounds(150);
+    let reps = scale.repetitions();
+    let label = format!("fig4-4/{}/p={p:.2}/k={dead_tiles}", case.name());
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| match case {
+        CaseStudy::Fft2d => {
+            let base = Fft2dParams {
+                config,
+                seed,
+                ..Fft2dParams::default()
+            };
+            let essential: Vec<usize> = {
+                let app = Fft2dApp::new(base.clone());
+                let mut v: Vec<usize> = app
+                    .worker_assignments()
+                    .into_iter()
+                    .flat_map(|(_, tiles)| tiles)
+                    .map(|n| n.index())
+                    .collect();
+                v.push(app.root_tile().index());
+                v
+            };
+            let params = Fft2dParams {
+                crash_schedule: fabric_crash_schedule(16, &essential, dead_tiles, seed),
+                ..base
+            };
+            let outcome = Fft2dApp::new(params).run();
+            (
+                outcome.completed,
+                outcome.completion_round,
+                outcome.report.total_energy().joules(),
+            )
+        }
+        CaseStudy::MasterSlave => {
+            let base = MasterSlaveParams {
+                config,
+                seed,
+                terms: 10_000,
+                ..MasterSlaveParams::default()
+            };
+            let essential: Vec<usize> = {
+                let app = MasterSlaveApp::new(base.clone());
+                let mut v: Vec<usize> = app
+                    .slave_assignments()
+                    .into_iter()
+                    .flatten()
+                    .map(|n| n.index())
+                    .collect();
+                v.push(app.master_tile().index());
+                v
+            };
+            let params = MasterSlaveParams {
+                crash_schedule: fabric_crash_schedule(25, &essential, dead_tiles, seed),
+                ..base
+            };
+            let outcome = MasterSlaveApp::new(params).run();
+            (
+                outcome.completed,
+                outcome.completion_round,
+                outcome.report.total_energy().joules(),
+            )
+        }
+    });
     let mut latencies = Vec::new();
     let mut energies = Vec::new();
     let mut completions = 0u64;
-    let reps = scale.repetitions();
-    for seed in 0..reps {
-        let (completed, latency, energy) = match case {
-            CaseStudy::Fft2d => {
-                let base = Fft2dParams {
-                    config,
-                    seed,
-                    ..Fft2dParams::default()
-                };
-                let essential: Vec<usize> = {
-                    let app = Fft2dApp::new(base.clone());
-                    let mut v: Vec<usize> = app
-                        .worker_assignments()
-                        .into_iter()
-                        .flat_map(|(_, tiles)| tiles)
-                        .map(|n| n.index())
-                        .collect();
-                    v.push(app.root_tile().index());
-                    v
-                };
-                let params = Fft2dParams {
-                    crash_schedule: fabric_crash_schedule(16, &essential, dead_tiles, seed),
-                    ..base
-                };
-                let outcome = Fft2dApp::new(params).run();
-                (
-                    outcome.completed,
-                    outcome.completion_round,
-                    outcome.report.total_energy().joules(),
-                )
-            }
-            CaseStudy::MasterSlave => {
-                let base = MasterSlaveParams {
-                    config,
-                    seed,
-                    terms: 10_000,
-                    ..MasterSlaveParams::default()
-                };
-                let essential: Vec<usize> = {
-                    let app = MasterSlaveApp::new(base.clone());
-                    let mut v: Vec<usize> = app
-                        .slave_assignments()
-                        .into_iter()
-                        .flatten()
-                        .map(|n| n.index())
-                        .collect();
-                    v.push(app.master_tile().index());
-                    v
-                };
-                let params = MasterSlaveParams {
-                    crash_schedule: fabric_crash_schedule(25, &essential, dead_tiles, seed),
-                    ..base
-                };
-                let outcome = MasterSlaveApp::new(params).run();
-                (
-                    outcome.completed,
-                    outcome.completion_round,
-                    outcome.report.total_energy().joules(),
-                )
-            }
-        };
+    for (completed, latency, energy) in outcomes {
         if completed {
             completions += 1;
             if let Some(l) = latency {
@@ -181,7 +182,14 @@ fn run_point(case: CaseStudy, p: f64, dead_tiles: usize, scale: Scale) -> CaseSt
 pub fn print(rows: &[CaseStudyPoint]) {
     crate::stats::print_table_header(
         "Figure 4-4: latency & energy vs tile crash failures",
-        &["case", "p", "dead tiles", "latency [rounds]", "completion", "energy [J]"],
+        &[
+            "case",
+            "p",
+            "dead tiles",
+            "latency [rounds]",
+            "completion",
+            "energy [J]",
+        ],
     );
     for r in rows {
         println!(

@@ -11,7 +11,7 @@ use noc_faults::{CrashSchedule, FaultInjector, FaultModel};
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One cell of the latency surface.
 #[derive(Debug, Clone)]
@@ -46,9 +46,8 @@ pub fn run(scale: Scale) -> Vec<SurfacePoint> {
 
 fn run_point(p_upset: f64, dead_tiles: usize, scale: Scale) -> SurfacePoint {
     let reps = scale.repetitions();
-    let mut latencies = Vec::new();
-    let mut completions = 0u64;
-    for seed in 0..reps {
+    let label = format!("fig4-5/upset={p_upset:.2}/k={dead_tiles}");
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| {
         let base = MasterSlaveParams {
             config: StochasticConfig::new(0.5, 24)
                 .expect("valid")
@@ -81,11 +80,15 @@ fn run_point(p_upset: f64, dead_tiles: usize, scale: Scale) -> SurfacePoint {
         for idx in chosen {
             schedule.kill_tile(candidates[idx], 0);
         }
-        let outcome = MasterSlaveApp::new(MasterSlaveParams {
+        MasterSlaveApp::new(MasterSlaveParams {
             crash_schedule: schedule,
             ..base
         })
-        .run();
+        .run()
+    });
+    let mut latencies = Vec::new();
+    let mut completions = 0u64;
+    for outcome in outcomes {
         if outcome.completed {
             completions += 1;
             if let Some(r) = outcome.completion_round {

@@ -19,7 +19,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use stochastic_noc::{SimulationBuilder, StochasticConfig};
 
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Message size used by the comparison (payload bytes).
 const PAYLOAD_BYTES: usize = 64;
@@ -135,16 +135,15 @@ pub fn run(scale: Scale) -> Vec<ComparisonRow> {
         Scale::Quick => 3,
         Scale::Full => 5,
     };
-    let mut rows: Vec<ComparisonRow> = (0..runs)
-        .map(|seed| {
+    let mut rows: Vec<ComparisonRow> =
+        TrialRunner::for_figure("fig4-6", runs).run_indexed(|index, seed| {
             let pairs = traffic(seed);
             ComparisonRow {
-                label: format!("run {}", seed + 1),
+                label: format!("run {}", index + 1),
                 noc: run_noc(&pairs, seed),
                 bus: run_bus(&pairs),
             }
-        })
-        .collect();
+        });
     let avg = |f: fn(&FabricMetrics) -> f64, pick: fn(&ComparisonRow) -> &FabricMetrics| {
         rows.iter().map(|r| f(pick(r))).sum::<f64>() / rows.len() as f64
     };

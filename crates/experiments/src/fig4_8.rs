@@ -11,7 +11,7 @@ use noc_faults::FaultModel;
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One grid cell of the latency contour.
 #[derive(Debug, Clone)]
@@ -47,9 +47,8 @@ pub fn run(scale: Scale) -> Vec<LatencyCell> {
 
 fn run_cell(p: f64, p_upset: f64, frames: u32, scale: Scale) -> LatencyCell {
     let reps = scale.repetitions();
-    let mut latencies = Vec::new();
-    let mut completions = 0;
-    for seed in 0..reps {
+    let label = format!("fig4-8/p={p:.2}/upset={p_upset:.2}");
+    let outcomes = TrialRunner::for_figure(&label, reps).run(|seed| {
         let params = Mp3Params {
             frames,
             config: StochasticConfig::new(p, 20)
@@ -62,7 +61,11 @@ fn run_cell(p: f64, p_upset: f64, frames: u32, scale: Scale) -> LatencyCell {
             seed,
             ..Mp3Params::default()
         };
-        let outcome = Mp3App::new(params).run();
+        Mp3App::new(params).run()
+    });
+    let mut latencies = Vec::new();
+    let mut completions = 0;
+    for outcome in outcomes {
         if outcome.completed {
             completions += 1;
             if let Some(r) = outcome.completion_round {

@@ -9,7 +9,7 @@ use noc_apps::mp3::{Mp3App, Mp3Params};
 use stochastic_noc::StochasticConfig;
 
 use crate::stats::mean;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One point of the energy curve.
 #[derive(Debug, Clone)]
@@ -31,9 +31,8 @@ pub fn run(scale: Scale) -> Vec<EnergyPoint> {
     ps.iter()
         .map(|&p| {
             let reps = scale.repetitions();
-            let mut energies = Vec::new();
-            let mut packets = Vec::new();
-            for seed in 0..reps {
+            let label = format!("fig4-9/p={p:.2}");
+            let samples = TrialRunner::for_figure(&label, reps).run(|seed| {
                 let params = Mp3Params {
                     frames: 8,
                     config: StochasticConfig::new(p, 16)
@@ -43,9 +42,13 @@ pub fn run(scale: Scale) -> Vec<EnergyPoint> {
                     ..Mp3Params::default()
                 };
                 let outcome = Mp3App::new(params).run();
-                energies.push(outcome.report.total_energy().joules());
-                packets.push(outcome.report.packets_sent as f64);
-            }
+                (
+                    outcome.report.total_energy().joules(),
+                    outcome.report.packets_sent as f64,
+                )
+            });
+            let energies: Vec<f64> = samples.iter().map(|&(e, _)| e).collect();
+            let packets: Vec<f64> = samples.iter().map(|&(_, n)| n).collect();
             EnergyPoint {
                 p,
                 energy_joules: mean(&energies).unwrap_or(0.0),

@@ -7,9 +7,11 @@
 //! slightly better latency; the bus-connected hybrid is less efficient
 //! than both.
 
-use noc_diversity::{compare_architectures, ArchitectureKind, ArchitectureResult, ComparisonParams};
+use noc_diversity::{
+    compare_architectures, ArchitectureKind, ArchitectureResult, ComparisonParams,
+};
 
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// Aggregated result per architecture.
 #[derive(Debug, Clone)]
@@ -36,12 +38,15 @@ pub fn run(scale: Scale) -> Vec<DiversityRow> {
         (ArchitectureKind::Hierarchical, Vec::new()),
         (ArchitectureKind::BusConnected, Vec::new()),
     ];
-    for seed in 0..reps {
+    let runs = TrialRunner::for_figure("fig5-3", reps).run(|seed| {
         let params = ComparisonParams {
             seed,
             ..base.clone()
         };
-        for result in compare_architectures(&params) {
+        compare_architectures(&params)
+    });
+    for results in runs {
+        for result in results {
             acc.iter_mut()
                 .find(|(k, _)| *k == result.kind)
                 .expect("known kind")
@@ -66,7 +71,12 @@ pub fn run(scale: Scale) -> Vec<DiversityRow> {
 pub fn print(rows: &[DiversityRow]) {
     crate::stats::print_table_header(
         "Figure 5-3: on-chip diversity architecture comparison (beamforming)",
-        &["architecture", "latency [rounds]", "message transmissions", "completion"],
+        &[
+            "architecture",
+            "latency [rounds]",
+            "message transmissions",
+            "completion",
+        ],
     );
     for r in rows {
         println!(

@@ -13,7 +13,7 @@ use noc_fabric::{NodeId, Topology};
 use stochastic_noc::{spread, SimulationBuilder, StochasticConfig};
 
 use crate::stats::mean;
-use crate::Scale;
+use crate::{Scale, TrialRunner};
 
 /// One grid size's spread measurements.
 #[derive(Debug, Clone)]
@@ -67,14 +67,20 @@ pub fn run(scale: Scale) -> Vec<GridSpreadRow> {
         .map(|side| {
             let topology = Topology::grid(side, side);
             let diameter = topology.diameter().expect("connected");
-            let flood: Vec<f64> = (0..reps)
-                .filter_map(|seed| rounds_to_full_coverage(&topology, 1.0, seed))
-                .map(|r| r as f64)
-                .collect();
-            let gossip: Vec<f64> = (0..reps)
-                .filter_map(|seed| rounds_to_full_coverage(&topology, 0.5, seed))
-                .map(|r| r as f64)
-                .collect();
+            let flood: Vec<f64> =
+                TrialRunner::for_figure(&format!("grid-spread/flood/{side}"), reps)
+                    .run(|seed| rounds_to_full_coverage(&topology, 1.0, seed))
+                    .into_iter()
+                    .flatten()
+                    .map(|r| r as f64)
+                    .collect();
+            let gossip: Vec<f64> =
+                TrialRunner::for_figure(&format!("grid-spread/gossip/{side}"), reps)
+                    .run(|seed| rounds_to_full_coverage(&topology, 0.5, seed))
+                    .into_iter()
+                    .flatten()
+                    .map(|r| r as f64)
+                    .collect();
             GridSpreadRow {
                 side,
                 diameter,
@@ -90,7 +96,14 @@ pub fn run(scale: Scale) -> Vec<GridSpreadRow> {
 pub fn print(rows: &[GridSpreadRow]) {
     crate::stats::print_table_header(
         "Grid spread scalability: rounds to inform every tile",
-        &["side", "tiles", "diameter", "flooding", "gossip p=0.5", "S_n (full graph)"],
+        &[
+            "side",
+            "tiles",
+            "diameter",
+            "flooding",
+            "gossip p=0.5",
+            "S_n (full graph)",
+        ],
     );
     for r in rows {
         println!(
@@ -130,12 +143,7 @@ mod tests {
         for r in &rows {
             let gossip = r.gossip_rounds.expect("p=0.5 covers the grid");
             let factor = gossip / r.flooding_rounds;
-            assert!(
-                factor < 3.5,
-                "side {}: gossip {}x flooding",
-                r.side,
-                factor
-            );
+            assert!(factor < 3.5, "side {}: gossip {}x flooding", r.side, factor);
         }
     }
 
@@ -145,8 +153,7 @@ mod tests {
         let first = &rows[0];
         let last = rows.last().unwrap();
         let tiles_ratio = (last.side * last.side) as f64 / (first.side * first.side) as f64;
-        let rounds_ratio =
-            last.gossip_rounds.unwrap() / first.gossip_rounds.unwrap();
+        let rounds_ratio = last.gossip_rounds.unwrap() / first.gossip_rounds.unwrap();
         assert!(
             rounds_ratio < tiles_ratio / 1.5,
             "rounds grew {rounds_ratio:.1}x for {tiles_ratio:.1}x tiles"

@@ -29,7 +29,10 @@ pub mod fig4_8;
 pub mod fig4_9;
 pub mod fig5_3;
 pub mod grid_spread;
+pub mod runner;
 pub mod stats;
+
+pub use runner::TrialRunner;
 
 /// How much work an experiment run performs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

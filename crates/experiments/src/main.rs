@@ -1,13 +1,17 @@
 //! CLI entry point: regenerate any figure of the paper.
 //!
 //! ```text
-//! experiments <figure> [--full]
-//! experiments all [--full]
+//! experiments <figure> [--full] [--threads N] [--seed N]
+//! experiments all [--full] [--threads N] [--seed N]
 //! ```
+//!
+//! `--threads N` pins the Monte-Carlo worker count (default:
+//! auto-detect); output tables are bit-identical for every `N`.
+//! `--seed N` re-roots every figure's trial-seed derivation (default 0).
 
 use noc_experiments::{
     ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
-    fig4_9, fig5_3, grid_spread, Scale,
+    fig4_9, fig5_3, grid_spread, runner, Scale,
 };
 
 const FIGURES: &[&str] = &[
@@ -46,6 +50,43 @@ fn run_figure(name: &str, scale: Scale) -> bool {
     true
 }
 
+/// Summarises the runner reports a figure deposited while it ran.
+///
+/// Goes to stderr so the tables on stdout stay byte-identical across
+/// thread counts.
+fn print_runner_summary(name: &str) {
+    let reports = runner::take_reports();
+    if reports.is_empty() {
+        return;
+    }
+    let trials: u64 = reports.iter().map(|r| r.trials).sum();
+    let elapsed: std::time::Duration = reports.iter().map(|r| r.elapsed).sum();
+    let workers = reports.iter().map(|r| r.workers).max().unwrap_or(1);
+    let per_trial = if trials == 0 {
+        std::time::Duration::ZERO
+    } else {
+        elapsed / u32::try_from(trials).unwrap_or(u32::MAX)
+    };
+    eprintln!(
+        "[runner] {name}: {trials} trials in {} sweep(s), {workers} worker(s), {:.1?} total ({:.1?}/trial)",
+        reports.len(),
+        elapsed,
+        per_trial,
+    );
+}
+
+fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    let position = args.iter().position(|a| a == flag)?;
+    let value = args.get(position + 1).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    });
+    Some(value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got '{value}'");
+        std::process::exit(2);
+    }))
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "--full") {
@@ -53,28 +94,42 @@ fn main() {
     } else {
         Scale::Quick
     };
+    if let Some(threads) = parse_flag(&args, "--threads") {
+        runner::set_default_threads(usize::try_from(threads).unwrap_or(usize::MAX));
+    }
+    if let Some(seed) = parse_flag(&args, "--seed") {
+        runner::set_base_seed(seed);
+    }
+    let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
-        .filter(|a| !a.starts_with("--"))
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--threads" || *a == "--seed" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
         .map(String::as_str)
         .collect();
 
     if targets.is_empty() || targets == ["help"] {
-        eprintln!("usage: experiments <figure>|all [--full]");
+        eprintln!("usage: experiments <figure>|all [--full] [--threads N] [--seed N]");
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });
     }
 
     let run_all = targets.contains(&"all");
-    let list: Vec<&str> = if run_all {
-        FIGURES.to_vec()
-    } else {
-        targets
-    };
+    let list: Vec<&str> = if run_all { FIGURES.to_vec() } else { targets };
     for name in list {
         if !run_figure(name, scale) {
             eprintln!("unknown figure '{name}'; known: {}", FIGURES.join(", "));
             std::process::exit(2);
         }
+        print_runner_summary(name);
     }
 }

@@ -1,0 +1,307 @@
+//! Parallel, deterministic Monte-Carlo trial runner.
+//!
+//! Every figure of the paper is the average of many independent seeded
+//! simulations. [`TrialRunner`] fans those trials out across scoped
+//! worker threads while keeping the output **bit-identical for any
+//! thread count, including 1**:
+//!
+//! * each trial's seed is derived purely from `(base_seed, trial_index)`
+//!   via [`stochastic_noc::seed::derive_trial_seed`] (SplitMix64), never
+//!   from scheduling order;
+//! * results are collected **in trial-index order**, so downstream
+//!   aggregation sees the same sequence regardless of which worker
+//!   finished first.
+//!
+//! The worker count defaults to the process-wide setting installed by
+//! the `experiments` binary's `--threads` flag ([`set_default_threads`])
+//! or, absent that, to [`std::thread::available_parallelism`].
+//!
+//! Each completed run deposits a [`RunnerReport`] (trials, worker count,
+//! wall-clock) in a process-wide queue the binary drains via
+//! [`take_reports`] to surface runner observability next to each table.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_experiments::runner::TrialRunner;
+//!
+//! let squares: Vec<u64> = TrialRunner::new(42, 8)
+//!     .threads(2)
+//!     .run(|seed| seed.wrapping_mul(seed));
+//! let serial: Vec<u64> = TrialRunner::new(42, 8)
+//!     .threads(1)
+//!     .run(|seed| seed.wrapping_mul(seed));
+//! assert_eq!(squares, serial, "output is thread-count independent");
+//! ```
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use stochastic_noc::seed::{derive_labeled_seed, derive_trial_seed};
+
+/// Process-wide default worker count; 0 means "auto-detect".
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide base seed every figure derives its sweep seed from.
+static BASE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Completed-run observability records awaiting [`take_reports`].
+static REPORTS: Mutex<Vec<RunnerReport>> = Mutex::new(Vec::new());
+
+/// Sets the process-wide default worker count (`--threads N`).
+///
+/// `0` restores auto-detection. Runs already in flight are unaffected.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads, Ordering::Relaxed);
+}
+
+/// The process-wide default worker count; `0` means auto-detect.
+pub fn default_threads() -> usize {
+    DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide base seed (`--seed N`). Defaults to 0.
+pub fn set_base_seed(seed: u64) {
+    BASE_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The process-wide base seed figures derive their sweeps from.
+pub fn base_seed() -> u64 {
+    BASE_SEED.load(Ordering::Relaxed)
+}
+
+/// Drains and returns the observability reports accumulated since the
+/// previous call, oldest first.
+pub fn take_reports() -> Vec<RunnerReport> {
+    std::mem::take(&mut REPORTS.lock().expect("runner report lock"))
+}
+
+/// Observability record of one completed [`TrialRunner::run`].
+#[derive(Debug, Clone)]
+pub struct RunnerReport {
+    /// The experiment the run belonged to (empty when unlabeled).
+    pub label: String,
+    /// Trials completed.
+    pub trials: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Total wall-clock time of the run.
+    pub elapsed: Duration,
+}
+
+impl RunnerReport {
+    /// Mean wall-clock time per trial.
+    pub fn per_trial(&self) -> Duration {
+        if self.trials == 0 {
+            Duration::ZERO
+        } else {
+            self.elapsed / u32::try_from(self.trials).unwrap_or(u32::MAX)
+        }
+    }
+}
+
+/// A deterministic parallel Monte-Carlo sweep: a base seed, a trial
+/// count, and (optionally) an explicit worker count.
+#[derive(Debug, Clone)]
+pub struct TrialRunner {
+    base_seed: u64,
+    trials: u64,
+    threads: Option<usize>,
+    label: String,
+}
+
+impl TrialRunner {
+    /// A runner executing `trials` trials seeded from `base_seed`.
+    pub fn new(base_seed: u64, trials: u64) -> Self {
+        TrialRunner {
+            base_seed,
+            trials,
+            threads: None,
+            label: String::new(),
+        }
+    }
+
+    /// A runner for the named figure: its sweep seed is derived from the
+    /// process-wide [`base_seed`] and the label, so different figures
+    /// never share trial seeds even under one `--seed` value.
+    pub fn for_figure(label: &str, trials: u64) -> Self {
+        let mut runner = TrialRunner::new(derive_labeled_seed(base_seed(), label), trials);
+        runner.label = label.to_string();
+        runner
+    }
+
+    /// Overrides the worker count for this run (`0` restores the
+    /// process-wide default).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// Labels this run in its [`RunnerReport`].
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+
+    /// The seed trial `trial_index` will receive.
+    pub fn trial_seed(&self, trial_index: u64) -> u64 {
+        derive_trial_seed(self.base_seed, trial_index)
+    }
+
+    /// The worker count this run will use.
+    pub fn effective_workers(&self) -> usize {
+        let configured = self.threads.unwrap_or_else(|| {
+            let process_default = default_threads();
+            if process_default > 0 {
+                process_default
+            } else {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            }
+        });
+        let trials = usize::try_from(self.trials).unwrap_or(usize::MAX);
+        configured.clamp(1, trials.max(1))
+    }
+
+    /// Runs `f` once per trial with that trial's derived seed, fanning
+    /// trials out across scoped threads, and returns the results **in
+    /// trial-index order**.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f`.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+    {
+        self.run_indexed(|_, seed| f(seed))
+    }
+
+    /// Like [`TrialRunner::run`], but also hands `f` the trial index —
+    /// for figures that label rows per run.
+    pub fn run_indexed<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, u64) -> T + Sync,
+    {
+        let trials = usize::try_from(self.trials).expect("trial count fits usize");
+        let workers = self.effective_workers();
+        let start = Instant::now();
+
+        let results: Vec<T> = if workers <= 1 || trials <= 1 {
+            (0..trials)
+                .map(|i| f(i, self.trial_seed(i as u64)))
+                .collect()
+        } else {
+            // Work-stealing by atomic counter: each worker claims the next
+            // unstarted trial, computes it, and deposits the result into
+            // its index's slot. Determinism needs no coordination beyond
+            // the slot order, because seeds depend only on the index.
+            let next = AtomicUsize::new(0);
+            let slots: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let index = next.fetch_add(1, Ordering::Relaxed);
+                        if index >= trials {
+                            break;
+                        }
+                        let result = f(index, self.trial_seed(index as u64));
+                        slots.lock().expect("result slot lock")[index] = Some(result);
+                    });
+                }
+            });
+            slots
+                .into_inner()
+                .expect("result slot lock")
+                .into_iter()
+                .map(|slot| slot.expect("every trial deposits a result"))
+                .collect()
+        };
+
+        REPORTS
+            .lock()
+            .expect("runner report lock")
+            .push(RunnerReport {
+                label: self.label.clone(),
+                trials: self.trials,
+                workers,
+                elapsed: start.elapsed(),
+            });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_arrive_in_trial_index_order() {
+        let runner = TrialRunner::new(7, 32).threads(4);
+        let expected: Vec<u64> = (0..32).map(|i| runner.trial_seed(i)).collect();
+        let got = runner.run(|seed| seed);
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn output_is_identical_for_any_thread_count() {
+        let baseline = TrialRunner::new(99, 17).threads(1).run(|seed| {
+            // A cheap but seed-sensitive computation.
+            (0..100u64).fold(seed, |acc, i| acc.rotate_left(7) ^ i)
+        });
+        for threads in [2, 3, 8] {
+            let parallel = TrialRunner::new(99, 17)
+                .threads(threads)
+                .run(|seed| (0..100u64).fold(seed, |acc, i| acc.rotate_left(7) ^ i));
+            assert_eq!(parallel, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn uneven_trial_loads_still_collect_in_order() {
+        // Early trials take longest, so late trials finish first under
+        // parallel execution; order must be restored by index.
+        let runner = TrialRunner::new(1, 12).threads(4);
+        let got = runner.run_indexed(|index, seed| {
+            std::thread::sleep(Duration::from_millis(12u64.saturating_sub(index as u64)));
+            (index, seed)
+        });
+        let indices: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn worker_count_is_clamped_to_trials() {
+        assert_eq!(TrialRunner::new(0, 2).threads(16).effective_workers(), 2);
+        assert_eq!(TrialRunner::new(0, 0).threads(16).effective_workers(), 1);
+        assert!(TrialRunner::new(0, 100).effective_workers() >= 1);
+    }
+
+    #[test]
+    fn figure_runners_use_distinct_seed_streams() {
+        let a = TrialRunner::for_figure("fig4-4", 4);
+        let b = TrialRunner::for_figure("fig4-5", 4);
+        assert_ne!(a.trial_seed(0), b.trial_seed(0));
+        // Stable for a fixed global base seed.
+        let a2 = TrialRunner::for_figure("fig4-4", 4);
+        assert_eq!(a.trial_seed(0), a2.trial_seed(0));
+    }
+
+    #[test]
+    fn reports_record_trials_and_workers() {
+        let _ = take_reports();
+        let _ = TrialRunner::new(3, 6).threads(2).label("probe").run(|s| s);
+        let reports = take_reports();
+        let report = reports
+            .iter()
+            .find(|r| r.label == "probe")
+            .expect("report recorded");
+        assert_eq!(report.trials, 6);
+        assert_eq!(report.workers, 2);
+        assert!(report.per_trial() <= report.elapsed);
+    }
+}

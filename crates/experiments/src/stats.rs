@@ -25,6 +25,87 @@ pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
     Some((m, std_dev(values).unwrap_or(0.0)))
 }
 
+/// The `q`-th percentile (0.0 ..= 100.0) by linear interpolation between
+/// closest ranks; `None` for an empty slice.
+///
+/// Matches numpy's default (`linear`) interpolation: the rank of the
+/// percentile is `q/100 · (n-1)` and fractional ranks interpolate
+/// between the two neighbouring order statistics.
+pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input is not NaN"));
+    let q = q.clamp(0.0, 100.0);
+    let rank = q / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
+/// The median (50th percentile); `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    percentile(values, 50.0)
+}
+
+/// Smallest and largest value; `None` for an empty slice.
+pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
+    values.iter().copied().fold(None, |acc, v| match acc {
+        None => Some((v, v)),
+        Some((lo, hi)) => Some((lo.min(v), hi.max(v))),
+    })
+}
+
+/// The half-width of a normal-approximation 95% confidence interval on
+/// the mean (`1.96 · σ/√n`); `None` for fewer than two values.
+///
+/// With the ≤10 repetitions the figures use, the normal approximation is
+/// a deliberate simplification — the tables report it as `±x` alongside
+/// the mean rather than claiming exact coverage.
+pub fn ci95_half_width(values: &[f64]) -> Option<f64> {
+    let sd = std_dev(values)?;
+    Some(1.96 * sd / (values.len() as f64).sqrt())
+}
+
+/// Full distribution summary of one measured series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation (0 for singletons).
+    pub std_dev: f64,
+    /// Half-width of the 95% CI on the mean (0 for singletons).
+    pub ci95: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// Summarises a series; `None` for an empty slice.
+pub fn summarize(values: &[f64]) -> Option<Summary> {
+    let (mean, std_dev) = mean_std(values)?;
+    let (min, max) = min_max(values)?;
+    Some(Summary {
+        n: values.len(),
+        mean,
+        std_dev,
+        ci95: ci95_half_width(values).unwrap_or(0.0),
+        min,
+        median: median(values)?,
+        p95: percentile(values, 95.0)?,
+        max,
+    })
+}
+
 /// Prints a header row followed by a separator, for the table output the
 /// harness emits.
 pub fn print_table_header(title: &str, columns: &[&str]) {
@@ -56,5 +137,68 @@ mod tests {
     fn singleton_has_zero_std() {
         assert_eq!(mean_std(&[3.0]), Some((3.0, 0.0)));
         assert_eq!(std_dev(&[3.0]), None);
+    }
+
+    #[test]
+    fn percentile_of_empty_is_none() {
+        assert_eq!(percentile(&[], 50.0), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(min_max(&[]), None);
+        assert_eq!(summarize(&[]), None);
+    }
+
+    #[test]
+    fn percentile_of_singleton_is_the_value() {
+        for q in [0.0, 37.5, 50.0, 95.0, 100.0] {
+            assert_eq!(percentile(&[7.5], q), Some(7.5));
+        }
+    }
+
+    #[test]
+    fn percentile_interpolates_even_length() {
+        let data = [4.0, 1.0, 3.0, 2.0];
+        // Median of 1,2,3,4 interpolates between the middle pair.
+        assert_eq!(median(&data), Some(2.5));
+        assert_eq!(percentile(&data, 0.0), Some(1.0));
+        assert_eq!(percentile(&data, 100.0), Some(4.0));
+        // rank = 0.25 * 3 = 0.75 -> 1 + 0.75 * (2 - 1)
+        assert_eq!(percentile(&data, 25.0), Some(1.75));
+    }
+
+    #[test]
+    fn percentile_hits_exact_ranks_odd_length() {
+        let data = [5.0, 1.0, 3.0];
+        assert_eq!(median(&data), Some(3.0));
+        assert_eq!(percentile(&data, 50.0), Some(3.0));
+        // rank = 0.95 * 2 = 1.9 -> 3 + 0.9 * (5 - 3)
+        let p95 = percentile(&data, 95.0).unwrap();
+        assert!((p95 - 4.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_q() {
+        let data = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&data, -10.0), Some(1.0));
+        assert_eq!(percentile(&data, 250.0), Some(3.0));
+    }
+
+    #[test]
+    fn ci95_shrinks_with_sample_count() {
+        let small = ci95_half_width(&[1.0, 3.0]).unwrap();
+        let large = ci95_half_width(&[1.0, 3.0, 1.0, 3.0, 1.0, 3.0, 1.0, 3.0]).unwrap();
+        assert!(large < small);
+        assert_eq!(ci95_half_width(&[3.0]), None);
+    }
+
+    #[test]
+    fn summary_is_internally_consistent() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = summarize(&data).unwrap();
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - 2.0).abs() < 1e-12);
+        assert_eq!((s.min, s.max), (2.0, 9.0));
+        assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.max);
+        assert!((s.ci95 - 1.96 * 2.0 / 8f64.sqrt()).abs() < 1e-12);
     }
 }

@@ -122,7 +122,10 @@ impl fmt::Display for ParsePacketError {
                 write!(f, "frame of {len} bytes cannot hold a packet header")
             }
             ParsePacketError::LengthMismatch { declared, actual } => {
-                write!(f, "header declares {declared} payload bytes, frame has {actual}")
+                write!(
+                    f,
+                    "header declares {declared} payload bytes, frame has {actual}"
+                )
             }
         }
     }
@@ -227,8 +230,7 @@ impl WireCodec {
         let destination =
             NodeId(u16::from_be_bytes(body[10..12].try_into().expect("2 bytes")) as usize);
         let ttl = body[12];
-        let declared =
-            u16::from_be_bytes(body[13..15].try_into().expect("2 bytes")) as usize;
+        let declared = u16::from_be_bytes(body[13..15].try_into().expect("2 bytes")) as usize;
         let payload = &body[HEADER_BYTES..];
         if declared != payload.len() {
             return Err(ParsePacketError::LengthMismatch {

@@ -187,10 +187,7 @@ mod tests {
             // Following the direction from `from` lands on `to`.
             let (fx, fy) = grid.coordinates(link.from);
             let (dx, dy) = d.delta();
-            let target = grid.node_at(
-                (fx as isize + dx) as usize,
-                (fy as isize + dy) as usize,
-            );
+            let target = grid.node_at((fx as isize + dx) as usize, (fy as isize + dy) as usize);
             assert_eq!(target, link.to);
         }
     }

@@ -330,7 +330,10 @@ impl Grid2d {
     ///
     /// Panics if the node is out of range.
     pub fn coordinates(&self, node: NodeId) -> (usize, usize) {
-        assert!(node.index() < self.width * self.height, "{node} outside grid");
+        assert!(
+            node.index() < self.width * self.height,
+            "{node} outside grid"
+        );
         (node.index() % self.width, node.index() / self.width)
     }
 
@@ -459,13 +462,11 @@ mod tests {
 
     #[test]
     fn from_links_validates() {
-        let r = std::panic::catch_unwind(|| {
-            Topology::from_links("bad", 2, [(NodeId(0), NodeId(5))])
-        });
+        let r =
+            std::panic::catch_unwind(|| Topology::from_links("bad", 2, [(NodeId(0), NodeId(5))]));
         assert!(r.is_err(), "out-of-range endpoint must panic");
-        let r = std::panic::catch_unwind(|| {
-            Topology::from_links("bad", 2, [(NodeId(1), NodeId(1))])
-        });
+        let r =
+            std::panic::catch_unwind(|| Topology::from_links("bad", 2, [(NodeId(1), NodeId(1))]));
         assert!(r.is_err(), "self-loop must panic");
     }
 

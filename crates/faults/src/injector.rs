@@ -119,12 +119,16 @@ impl FaultInjector {
     /// Samples which of `n` tiles are dead from the start (Bernoulli with
     /// `p_tiles` per tile). Returns `alive[i]`.
     pub fn sample_alive_tiles(&mut self, n: usize) -> Vec<bool> {
-        (0..n).map(|_| !self.bernoulli(self.model.p_tiles)).collect()
+        (0..n)
+            .map(|_| !self.bernoulli(self.model.p_tiles))
+            .collect()
     }
 
     /// Samples which of `m` links are dead from the start.
     pub fn sample_alive_links(&mut self, m: usize) -> Vec<bool> {
-        (0..m).map(|_| !self.bernoulli(self.model.p_links)).collect()
+        (0..m)
+            .map(|_| !self.bernoulli(self.model.p_links))
+            .collect()
     }
 
     /// Samples exactly `k` distinct dead tiles out of `n` (used by the
@@ -177,7 +181,8 @@ impl FaultInjector {
         if self.model.sigma_synch == 0.0 {
             0.0
         } else {
-            self.gauss.sample(&mut self.rng, 0.0, self.model.sigma_synch)
+            self.gauss
+                .sample(&mut self.rng, 0.0, self.model.sigma_synch)
         }
     }
 

@@ -16,7 +16,10 @@ fn main() {
         params.quadrant_side, params.quadrant_side, params.sensors_per_quadrant
     );
     println!();
-    println!("{:<22} {:>10} {:>15} {:>10}", "architecture", "latency", "transmissions", "done");
+    println!(
+        "{:<22} {:>10} {:>15} {:>10}",
+        "architecture", "latency", "transmissions", "done"
+    );
 
     for result in compare_architectures(&params) {
         println!(

@@ -32,7 +32,10 @@ fn main() {
     if let Some(pi) = outcome.pi_estimate {
         println!("pi estimate      : {pi:.9}");
         println!("true pi          : {:.9}", std::f64::consts::PI);
-        println!("error            : {:.2e}", (pi - std::f64::consts::PI).abs());
+        println!(
+            "error            : {:.2e}",
+            (pi - std::f64::consts::PI).abs()
+        );
     }
     if let Some(round) = outcome.completion_round {
         println!("completion round : {round}");

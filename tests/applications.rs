@@ -18,7 +18,9 @@ fn pi_survives_upsets_and_stays_numerically_exact() {
     let noisy = MasterSlaveApp::new(MasterSlaveParams {
         terms: 50_000,
         fault_model: FaultModel::builder().p_upset(0.25).build().unwrap(),
-        config: StochasticConfig::new(0.75, 20).unwrap().with_max_rounds(400),
+        config: StochasticConfig::new(0.75, 20)
+            .unwrap()
+            .with_max_rounds(400),
         seed: 3,
         ..MasterSlaveParams::default()
     })
@@ -35,7 +37,9 @@ fn pi_survives_upsets_and_stays_numerically_exact() {
 fn fft_matches_oracle_even_under_packet_loss() {
     let params = Fft2dParams {
         fault_model: FaultModel::builder().p_overflow(0.2).build().unwrap(),
-        config: StochasticConfig::new(0.75, 20).unwrap().with_max_rounds(300),
+        config: StochasticConfig::new(0.75, 20)
+            .unwrap()
+            .with_max_rounds(300),
         seed: 5,
         ..Fft2dParams::default()
     };
@@ -87,7 +91,5 @@ fn flooding_versus_gossip_tradeoff_holds_across_apps() {
     let half = ms(0.5);
     assert!(flood.completed && half.completed);
     assert!(flood.completion_round.unwrap() <= half.completion_round.unwrap());
-    assert!(
-        flood.report.total_energy().joules() > half.report.total_energy().joules()
-    );
+    assert!(flood.report.total_energy().joules() > half.report.total_energy().joules());
 }

@@ -3,9 +3,10 @@
 
 use ocsc::noc_apps::mp3::{Mp3App, Mp3Params};
 use ocsc::noc_diversity::{compare_architectures, ComparisonParams};
+use ocsc::noc_experiments::{fig3_3, fig4_9, runner, Scale, TrialRunner};
 use ocsc::noc_fabric::{Grid2d, NodeId};
 use ocsc::noc_faults::FaultModel;
-use ocsc::stochastic_noc::{SimulationBuilder, StochasticConfig};
+use ocsc::stochastic_noc::{seed, SimulationBuilder, StochasticConfig};
 
 fn full_model() -> FaultModel {
     FaultModel::builder()
@@ -75,4 +76,42 @@ fn architecture_comparison_is_reproducible() {
             .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
+}
+
+#[test]
+fn figure_rows_are_identical_for_any_thread_count() {
+    // The same guarantee the `experiments` binary gives for
+    // `--threads N`: figure rows (including every f64, compared via the
+    // exact Debug rendering) must not depend on the worker count.
+    let snapshot = |threads: usize| {
+        runner::set_default_threads(threads);
+        let rows = format!(
+            "{:?}|{:?}",
+            fig3_3::run(Scale::Quick),
+            fig4_9::run(Scale::Quick)
+        );
+        let _ = runner::take_reports();
+        rows
+    };
+    let baseline = snapshot(1);
+    for threads in [2usize, 8] {
+        assert_eq!(snapshot(threads), baseline, "threads={threads}");
+    }
+    runner::set_default_threads(0);
+}
+
+#[test]
+fn trial_runner_matches_hand_rolled_serial_loop() {
+    // The parallel runner must be a drop-in replacement for
+    // `for i in 0..n { f(derive_trial_seed(base, i)) }`.
+    let serial: Vec<u64> = (0..40)
+        .map(|i| {
+            let s = seed::derive_trial_seed(123, i);
+            s.rotate_left((i % 63) as u32) ^ i
+        })
+        .collect();
+    let parallel = TrialRunner::new(123, 40)
+        .threads(8)
+        .run_indexed(|i, s| s.rotate_left((i % 63) as u32) ^ i as u64);
+    assert_eq!(parallel, serial);
 }

@@ -43,7 +43,11 @@ fn all_fault_classes_together_are_survivable() {
     let runs = 10;
     for seed in 0..runs {
         let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
-            .config(StochasticConfig::new(0.75, 20).unwrap().with_max_rounds(120))
+            .config(
+                StochasticConfig::new(0.75, 20)
+                    .unwrap()
+                    .with_max_rounds(120),
+            )
             .fault_model(model)
             .seed(seed)
             .build();

@@ -1,0 +1,203 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the workspace's bench targets use —
+//! [`Criterion::benchmark_group`], `sample_size`, `throughput`,
+//! `bench_function`, [`Bencher::iter`], [`black_box`],
+//! [`criterion_group!`] and [`criterion_main!`] — measuring wall-clock
+//! time with `std::time::Instant` and printing one line per benchmark.
+//! There is no statistical analysis, plotting or comparison against
+//! saved baselines; the numbers are mean ns/iteration over an
+//! adaptively sized batch.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units for [`BenchmarkGroup::throughput`] reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Measurement driver handed to each benchmark closure.
+pub struct Bencher {
+    /// Total time spent in the measured closure.
+    elapsed: Duration,
+    /// Iterations executed during measurement.
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running enough iterations for a stable mean.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: also provides a first cost estimate.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let estimate = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        // Aim for ~100 ms of measurement, capped to keep huge
+        // per-iteration benches from stalling the suite.
+        let target = Duration::from_millis(100);
+        let iters = (target.as_nanos() / estimate.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iters;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches itself.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration throughput used in reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark and prints its mean time per iteration.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let mean_ns = if bencher.iterations == 0 {
+            0.0
+        } else {
+            bencher.elapsed.as_nanos() as f64 / bencher.iterations as f64
+        };
+        let rate = match self.throughput {
+            Some(Throughput::Bytes(bytes)) if mean_ns > 0.0 => {
+                format!("  ({:.1} MiB/s)", bytes as f64 / mean_ns * 953.674_316)
+            }
+            Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / mean_ns * 1e9)
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{}: {}  [{} iterations]{}",
+            self.name,
+            id,
+            format_time(mean_ns),
+            bencher.iterations,
+            rate
+        );
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: u64,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(id.to_string())
+            .bench_function("run", f);
+        self
+    }
+}
+
+fn format_time(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.finish();
+        assert_eq!(c.benchmarks_run, 1);
+    }
+
+    #[test]
+    fn time_formatting_picks_sane_units() {
+        assert!(format_time(12.0).ends_with("ns"));
+        assert!(format_time(12_000.0).ends_with("us"));
+        assert!(format_time(12_000_000.0).ends_with("ms"));
+        assert!(format_time(2e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` on value types
+//! (no serializer backend is available in the offline build environment),
+//! so the traits are markers and the derives expand to nothing. The
+//! `derive` feature exists so workspace manifests written against real
+//! serde keep working unchanged.
+
+#![forbid(unsafe_code)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

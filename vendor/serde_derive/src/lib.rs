@@ -1,0 +1,19 @@
+//! No-op `Serialize`/`Deserialize` derives.
+//!
+//! The workspace derives these traits on value types for downstream
+//! compatibility but never serializes anything (no serializer crate is
+//! available offline), so the derives can safely expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the vendored `serde::Serialize` trait is a marker.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; the vendored `serde::Deserialize` trait is a marker.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
