@@ -1,0 +1,288 @@
+//! Step-throughput baseline for the zero-copy hot path.
+//!
+//! Times representative gossip workloads (4×4/8×8/16×16 grids, flooding
+//! and p = 0.5, faulty and fault-free) on both engines:
+//!
+//! * **before** — [`stochastic_noc::reference::ReferenceSimulation`], the
+//!   retained naive implementation (per-round allocations, one encode per
+//!   tile, byte-cloned fan-out);
+//! * **after** — the optimized [`stochastic_noc::Simulation`] (shared
+//!   `Arc` frames, per-round CRC memo, persistent arenas).
+//!
+//! Both engines are seed-for-seed byte-identical (see the golden-report
+//! and engine-equivalence tests), so the comparison is pure speed. The
+//! results are written as JSON (hand-rolled — the vendored serde is a
+//! no-op shim) to `BENCH_PR2.json`, establishing the repo's perf
+//! trajectory; see EXPERIMENTS.md for methodology.
+//!
+//! Usage: `cargo run --release -p noc-bench --bin perf_baseline --
+//! [--scale quick|full] [--out PATH]`
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use noc_faults::{CrashSchedule, ErrorModel, FaultModel};
+use stochastic_noc::reference::ReferenceSimulation;
+use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+use noc_fabric::{NodeId, Topology};
+
+/// One benchmark workload: a topology/config/fault-model point.
+struct Workload {
+    name: &'static str,
+    side: usize,
+    config: StochasticConfig,
+    faulty: bool,
+    injections: usize,
+}
+
+/// Measured numbers for one engine on one workload.
+struct Measurement {
+    rounds: u64,
+    packets: u64,
+    seconds: f64,
+    steps_per_sec: f64,
+}
+
+const SEED: u64 = 2003;
+
+fn fault_model(faulty: bool) -> FaultModel {
+    if faulty {
+        FaultModel::builder()
+            .p_upset(0.1)
+            .p_overflow(0.05)
+            .sigma_synch(0.2)
+            .error_model(ErrorModel::RandomErrorVector)
+            .build()
+            .expect("valid fault model")
+    } else {
+        FaultModel::none()
+    }
+}
+
+fn workloads() -> Vec<Workload> {
+    let flooding = |ttl: u8| StochasticConfig::flooding(ttl).with_max_rounds(60);
+    let gossip = |ttl: u8| {
+        let mut c = StochasticConfig::flooding(ttl).with_max_rounds(60);
+        c.forward_probability = 0.5;
+        c
+    };
+    vec![
+        Workload {
+            name: "grid4_flooding_fault_free",
+            side: 4,
+            config: flooding(12),
+            faulty: false,
+            injections: 2,
+        },
+        Workload {
+            name: "grid4_gossip_faulty",
+            side: 4,
+            config: gossip(16),
+            faulty: true,
+            injections: 2,
+        },
+        Workload {
+            name: "grid8_flooding_fault_free",
+            side: 8,
+            config: flooding(20),
+            faulty: false,
+            injections: 3,
+        },
+        Workload {
+            name: "grid8_flooding_faulty",
+            side: 8,
+            config: flooding(20),
+            faulty: true,
+            injections: 3,
+        },
+        Workload {
+            name: "grid8_gossip_faulty",
+            side: 8,
+            config: gossip(24),
+            faulty: true,
+            injections: 3,
+        },
+        Workload {
+            name: "grid16_flooding_fault_free",
+            side: 16,
+            config: flooding(28),
+            faulty: false,
+            injections: 4,
+        },
+        Workload {
+            name: "grid16_gossip_faulty",
+            side: 16,
+            config: gossip(32),
+            faulty: true,
+            injections: 4,
+        },
+    ]
+}
+
+/// Deterministic corner-ish source/destination pairs for `k` injections.
+fn pairs(side: usize, k: usize) -> Vec<(NodeId, NodeId)> {
+    let n = side * side;
+    (0..k)
+        .map(|i| (NodeId((i * 7) % n), NodeId(n - 1 - (i * 3) % n)))
+        .collect()
+}
+
+fn run_reference(w: &Workload, reps: usize) -> Measurement {
+    let mut rounds = 0u64;
+    let mut packets = 0u64;
+    let start = Instant::now();
+    for rep in 0..reps {
+        let mut sim = ReferenceSimulation::new(
+            Topology::grid(w.side, w.side),
+            w.config,
+            fault_model(w.faulty),
+            CrashSchedule::new(),
+            SEED + rep as u64,
+        );
+        for (s, d) in pairs(w.side, w.injections) {
+            sim.inject(s, d, vec![0xA5; 16]);
+        }
+        let report = sim.run();
+        rounds += report.rounds_executed;
+        packets += report.packets_sent;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        rounds,
+        packets,
+        seconds,
+        steps_per_sec: rounds as f64 / seconds.max(1e-9),
+    }
+}
+
+fn run_optimized(w: &Workload, reps: usize) -> Measurement {
+    let mut rounds = 0u64;
+    let mut packets = 0u64;
+    let start = Instant::now();
+    for rep in 0..reps {
+        let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
+            .config(w.config)
+            .fault_model(fault_model(w.faulty))
+            .seed(SEED + rep as u64)
+            .build();
+        for (s, d) in pairs(w.side, w.injections) {
+            sim.inject(s, d, vec![0xA5; 16]);
+        }
+        let report = sim.run_to_report();
+        rounds += report.rounds_executed;
+        packets += report.packets_sent;
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    Measurement {
+        rounds,
+        packets,
+        seconds,
+        steps_per_sec: rounds as f64 / seconds.max(1e-9),
+    }
+}
+
+fn main() {
+    let mut scale = "full".to_string();
+    let mut out_path = "BENCH_PR2.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().expect("--scale needs quick|full"),
+            "--out" => out_path = args.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: perf_baseline [--scale quick|full] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let reps = match scale.as_str() {
+        "quick" => 3,
+        "full" => 25,
+        other => {
+            eprintln!("unknown scale `{other}` (expected quick|full)");
+            std::process::exit(2);
+        }
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"perf_baseline\",");
+    let _ = writeln!(json, "  \"pr\": 2,");
+    let _ = writeln!(json, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(json, "  \"reps_per_workload\": {reps},");
+    let _ = writeln!(json, "  \"seed\": {SEED},");
+    let _ = writeln!(
+        json,
+        "  \"before_engine\": \"ReferenceSimulation (naive pre-optimization data flow)\","
+    );
+    let _ = writeln!(
+        json,
+        "  \"after_engine\": \"Simulation (Arc frames + CRC memo + reusable arenas)\","
+    );
+    json.push_str("  \"workloads\": [\n");
+
+    let all = workloads();
+    let mut failures = Vec::new();
+    for (i, w) in all.iter().enumerate() {
+        // Warm-up once so neither engine pays first-touch costs.
+        run_optimized(w, 1);
+        run_reference(w, 1);
+        let before = run_reference(w, reps);
+        let after = run_optimized(w, reps);
+        assert_eq!(
+            (before.rounds, before.packets),
+            (after.rounds, after.packets),
+            "{}: engines diverged — determinism contract broken",
+            w.name
+        );
+        let speedup = after.steps_per_sec / before.steps_per_sec.max(1e-9);
+        eprintln!(
+            "{:<28} before {:>9.0} steps/s   after {:>9.0} steps/s   speedup {:>5.2}x",
+            w.name, before.steps_per_sec, after.steps_per_sec, speedup
+        );
+        let gate = w.name == "grid8_flooding_faulty" || w.name == "grid8_flooding_fault_free";
+        if gate && speedup < 2.0 {
+            failures.push(format!("{} speedup {speedup:.2}x < 2x", w.name));
+        }
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"grid\": \"{0}x{0}\",", w.side);
+        let _ = writeln!(
+            json,
+            "      \"forward_probability\": {},",
+            w.config.forward_probability
+        );
+        let _ = writeln!(json, "      \"ttl\": {},", w.config.default_ttl);
+        let _ = writeln!(json, "      \"faulty\": {},", w.faulty);
+        let _ = writeln!(json, "      \"rounds_total\": {},", after.rounds);
+        let _ = writeln!(json, "      \"packets_total\": {},", after.packets);
+        let _ = writeln!(
+            json,
+            "      \"before_steps_per_sec\": {:.1},",
+            before.steps_per_sec
+        );
+        let _ = writeln!(
+            json,
+            "      \"after_steps_per_sec\": {:.1},",
+            after.steps_per_sec
+        );
+        let _ = writeln!(json, "      \"before_seconds\": {:.6},", before.seconds);
+        let _ = writeln!(json, "      \"after_seconds\": {:.6},", after.seconds);
+        let _ = writeln!(json, "      \"speedup\": {speedup:.3}");
+        json.push_str(if i + 1 == all.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write benchmark json");
+    eprintln!("wrote {out_path}");
+    if !failures.is_empty() {
+        eprintln!("PERF REGRESSION: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -22,22 +22,89 @@
 
 use noc_energy::{Bits, TechnologyLibrary};
 use noc_fabric::{
-    ClockDomain, Grid2d, IpContext, IpCore, Message, MessageId, NodeId, NullIp, ReceiveBuffer,
-    Topology, WireCodec,
+    ClockDomain, Grid2d, IpContext, IpCore, Message, MessageId, NodeId, NullIp, Topology, WireCodec,
 };
 use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 use crate::config::StochasticConfig;
 use crate::metrics::{MessageRecord, SimulationReport};
 use crate::send_buffer::SendBuffer;
 
 /// A frame in flight on a link.
+///
+/// The wire bytes are shared: fanning one transmission out to `d` links
+/// clones the `Arc`, not the frame. A scrambled copy is rewritten
+/// copy-on-write by [`FaultInjector::scramble_shared`], so corruption on
+/// one link never leaks into sibling copies.
 #[derive(Debug, Clone)]
 struct Frame {
-    bytes: Vec<u8>,
+    bytes: Arc<[u8]>,
     scrambled: bool,
+}
+
+/// One remembered encoding in the per-round [`FrameMemo`].
+///
+/// The key `(MessageId, ttl)` is not quite unique: an *undetected* upset
+/// can put a byte-different copy of the same id into circulation, and the
+/// two copies must keep encoding differently. Each entry therefore carries
+/// the header fields and payload it was encoded from and is only reused on
+/// an exact match.
+struct MemoEntry {
+    source: NodeId,
+    destination: NodeId,
+    payload: Arc<[u8]>,
+    frame: Arc<[u8]>,
+}
+
+impl MemoEntry {
+    fn matches(&self, message: &Message) -> bool {
+        self.source == message.source
+            && self.destination == message.destination
+            && (Arc::ptr_eq(&self.payload, &message.payload) || self.payload == message.payload)
+    }
+}
+
+/// Per-round memo of encoded frames.
+///
+/// During the forward phase every tile holding a message at the same TTL
+/// produces the identical wire frame, so the CRC/LFSR encode work is done
+/// once per `(message, ttl)` per round instead of once per tile. Cleared
+/// (capacity retained) at the start of each forward phase; TTLs decrement
+/// every round, so entries can never be stale across rounds.
+#[derive(Default)]
+struct FrameMemo {
+    map: HashMap<(MessageId, u8), Vec<MemoEntry>>,
+    scratch: Vec<u8>,
+}
+
+impl FrameMemo {
+    fn begin_round(&mut self) {
+        self.map.clear();
+    }
+
+    /// Returns the shared wire frame for `message`, encoding it at most
+    /// once per round.
+    fn frame_for(&mut self, codec: &WireCodec, message: &Message) -> Arc<[u8]> {
+        let key = (message.id, message.ttl);
+        if let Some(entries) = self.map.get(&key) {
+            if let Some(entry) = entries.iter().find(|e| e.matches(message)) {
+                return Arc::clone(&entry.frame);
+            }
+        }
+        self.scratch.clear();
+        codec.encode_into(message, &mut self.scratch);
+        let frame: Arc<[u8]> = Arc::from(&self.scratch[..]);
+        self.map.entry(key).or_default().push(MemoEntry {
+            source: message.source,
+            destination: message.destination,
+            payload: Arc::clone(&message.payload),
+            frame: Arc::clone(&frame),
+        });
+        frame
+    }
 }
 
 /// Per-round statistics returned by [`Simulation::step`].
@@ -234,7 +301,7 @@ impl SimulationBuilder {
             .map(|ip| ip.unwrap_or_else(|| Box::new(NullIp)))
             .collect();
         Simulation {
-            egress_cursors: vec![0; self.egress_limits.len()],
+            egress_next: vec![None; self.egress_limits.len()],
             egress_limits: self.egress_limits,
             forward_overrides: self.forward_overrides,
             terminated: HashSet::new(),
@@ -243,6 +310,10 @@ impl SimulationBuilder {
             clocks: vec![ClockDomain::new(); n],
             inbox_next: vec![Vec::new(); n],
             inbox_later: vec![Vec::new(); n],
+            inbox_scratch: vec![Vec::new(); n],
+            delivery_scratch: vec![Vec::new(); n],
+            frame_memo: FrameMemo::default(),
+            informed: HashMap::new(),
             tiles_alive,
             links_alive,
             topology: self.topology,
@@ -275,9 +346,23 @@ pub struct Simulation {
     clocks: Vec<ClockDomain>,
     inbox_next: Vec<Vec<Frame>>,
     inbox_later: Vec<Vec<Frame>>,
+    /// Recycled per-round arrival storage: after the receive phase drains
+    /// a round's frames, the emptied vectors rotate back in as the next
+    /// `inbox_later`, so steady-state rounds allocate no inbox memory.
+    inbox_scratch: Vec<Vec<Frame>>,
+    /// Persistent per-tile `(from, payload)` delivery staging between the
+    /// receive and compute phases.
+    delivery_scratch: Vec<Vec<(NodeId, Arc<[u8]>)>>,
+    frame_memo: FrameMemo,
+    /// Tiles whose send buffer has seen each message id — maintained at
+    /// first-sight so `informed_count` is O(1) instead of an O(n) scan.
+    informed: HashMap<MessageId, usize>,
     ips: Vec<Box<dyn IpCore>>,
     egress_limits: Vec<Option<usize>>,
-    egress_cursors: Vec<usize>,
+    /// Round-robin egress resume point per tile: the *id* of the next
+    /// message owed service, so buffer shrinkage between rounds (TTL
+    /// expiry, termination purges) cannot skip or double-serve entries.
+    egress_next: Vec<Option<MessageId>>,
     forward_overrides: Vec<Option<f64>>,
     terminated: HashSet<MessageId>,
     report: SimulationReport,
@@ -319,9 +404,10 @@ impl Simulation {
     }
 
     /// Number of tiles whose send buffer has seen message `id` — the
-    /// "informed population" of the epidemic analogy.
+    /// "informed population" of the epidemic analogy. O(1): experiment
+    /// harnesses poll this every round.
     pub fn informed_count(&self, id: MessageId) -> usize {
-        self.buffers.iter().filter(|b| b.has_seen(id)).count()
+        self.informed.get(&id).copied().unwrap_or(0)
     }
 
     /// Has this tile's send buffer ever seen message `id`?
@@ -347,12 +433,19 @@ impl Simulation {
         &self.report
     }
 
-    /// Consumes the simulation, returning the report.
-    pub fn into_report(self) -> SimulationReport {
-        let mut report = self.report;
-        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
-        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
-        report
+    /// Consumes the simulation, returning the report by move.
+    pub fn into_report(mut self) -> SimulationReport {
+        self.finalize_report();
+        self.report
+    }
+
+    /// Folds the per-component tallies (clock slips, TTL expirations) into
+    /// the report — the single finalization point shared by every way of
+    /// extracting a report.
+    fn finalize_report(&mut self) -> &SimulationReport {
+        self.report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
+        self.report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
+        &self.report
     }
 
     /// Injects a message from outside the IP layer (protocol-level use).
@@ -379,7 +472,7 @@ impl Simulation {
         if destination == source {
             self.report.record_delivery(id, self.round);
             // Local loopback skips the network; the IP sees it next round.
-            let frame = self.codec.encode(&message);
+            let frame: Arc<[u8]> = self.codec.encode(&message).into();
             self.inbox_next[source.index()].push(Frame {
                 bytes: frame,
                 scrambled: false,
@@ -387,6 +480,7 @@ impl Simulation {
             return id;
         }
         self.buffers[source.index()].insert(message);
+        *self.informed.entry(id).or_insert(0) += 1;
         id
     }
 
@@ -396,10 +490,17 @@ impl Simulation {
         while !self.completed && self.round < self.config.max_rounds {
             self.step();
         }
-        let mut report = self.report.clone();
-        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
-        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
-        report
+        self.finalize_report().clone()
+    }
+
+    /// Like [`Simulation::run`], but consumes the simulation so the report
+    /// is moved out instead of cloned — the right call for fire-and-forget
+    /// trials that never inspect the simulation afterwards.
+    pub fn run_to_report(mut self) -> SimulationReport {
+        while !self.completed && self.round < self.config.max_rounds {
+            self.step();
+        }
+        self.into_report()
     }
 
     /// Runs to completion/budget while collecting every round's
@@ -410,10 +511,7 @@ impl Simulation {
         while !self.completed && self.round < self.config.max_rounds {
             history.push(self.step());
         }
-        let mut report = self.report.clone();
-        report.clock_slips = self.clocks.iter().map(ClockDomain::slips).sum();
-        report.ttl_expirations = self.buffers.iter().map(SendBuffer::expired_count).sum();
-        (report, history)
+        (self.finalize_report().clone(), history)
     }
 
     /// Executes one gossip round.
@@ -425,45 +523,95 @@ impl Simulation {
             ..RoundStats::default()
         };
 
-        // Shift the delay line: frames due now, frames due next round.
-        let current: Vec<Vec<Frame>> =
-            std::mem::replace(&mut self.inbox_next, std::mem::take(&mut self.inbox_later));
-        self.inbox_later = vec![Vec::new(); n];
+        // Shift the delay line through persistent arenas: the old `next`
+        // becomes this round's arrivals (in `inbox_scratch`), the old
+        // `later` becomes `next`, and the vectors drained last round
+        // rotate back in as the fresh `later` — steady-state rounds
+        // allocate no inbox memory.
+        std::mem::swap(&mut self.inbox_next, &mut self.inbox_scratch);
+        std::mem::swap(&mut self.inbox_next, &mut self.inbox_later);
 
         // Phase 1: receive.
-        let mut deliveries: Vec<Vec<(NodeId, Vec<u8>)>> = vec![Vec::new(); n];
-        for (tile, frames) in current.into_iter().enumerate() {
-            let node = NodeId(tile);
-            if !self.tile_alive(node) {
-                self.report.crash_drops += frames.len() as u64;
-                continue;
-            }
-            let accepted = self.apply_overflow(frames);
-            for frame in accepted {
-                match self.codec.decode(&frame.bytes) {
-                    Ok(message) => {
-                        if self.terminated.contains(&message.id) {
-                            continue; // spread already terminated
-                        }
-                        if frame.scrambled {
-                            // The CRC failed to notice the upset: the
-                            // corrupt message proceeds, faithfully.
-                            self.report.upsets_undetected += 1;
-                        }
-                        let is_new = !self.buffers[tile].has_seen(message.id);
-                        if message.destination == node && is_new {
-                            self.report.record_delivery(message.id, round);
-                            stats.deliveries += 1;
-                            deliveries[tile].push((message.source, message.payload.clone()));
-                            if self.config.terminate_on_delivery {
-                                self.terminated.insert(message.id);
+        {
+            let Simulation {
+                ref config,
+                ref crash_schedule,
+                ref mut injector,
+                ref codec,
+                ref tiles_alive,
+                ref mut buffers,
+                ref mut inbox_scratch,
+                ref mut delivery_scratch,
+                ref mut terminated,
+                ref mut informed,
+                ref mut report,
+                ..
+            } = *self;
+            for tile in 0..n {
+                let frames = &mut inbox_scratch[tile];
+                if frames.is_empty() {
+                    continue;
+                }
+                let node = NodeId(tile);
+                if !tiles_alive[tile] || crash_schedule.tile_dead(tile, round) {
+                    report.crash_drops += frames.len() as u64;
+                    frames.clear();
+                    continue;
+                }
+                apply_overflow_in_place(injector, report, frames);
+                for frame in frames.drain(..) {
+                    let view = if frame.scrambled {
+                        // A scrambled frame must take the real CRC check:
+                        // it is usually discarded here, and the residual
+                        // undetected-error rate is faithfully possible.
+                        match codec.decode_view(&frame.bytes) {
+                            Ok(view) => {
+                                if terminated.contains(&view.id) {
+                                    continue; // spread already terminated
+                                }
+                                // The CRC failed to notice the upset: the
+                                // corrupt message proceeds, faithfully.
+                                report.upsets_undetected += 1;
+                                if buffers[tile].has_seen(view.id) {
+                                    continue; // duplicate: insertion is a no-op
+                                }
+                                view
+                            }
+                            Err(_) => {
+                                report.upsets_detected += 1;
+                                continue;
                             }
                         }
-                        self.buffers[tile].insert(message);
+                    } else {
+                        // Never-scrambled frames are bit-identical to our
+                        // own encoder's output, so the CRC holds by
+                        // construction and the id sits at a fixed offset.
+                        // Most arrivals in a flood are duplicates of an
+                        // already-buffered message: they die right here
+                        // on two hash probes, with no CRC or parse work.
+                        let id = codec
+                            .peek_id(&frame.bytes)
+                            .expect("self-encoded frames carry a full header");
+                        if terminated.contains(&id) || buffers[tile].has_seen(id) {
+                            continue;
+                        }
+                        codec
+                            .decode_view_trusted(&frame.bytes)
+                            .expect("self-encoded frames parse")
+                    };
+                    *informed.entry(view.id).or_insert(0) += 1;
+                    // First sighting: materialize owned (shared) payload
+                    // bytes off the borrowed frame.
+                    let message = view.to_message();
+                    if message.destination == node {
+                        report.record_delivery(message.id, round);
+                        stats.deliveries += 1;
+                        delivery_scratch[tile].push((message.source, Arc::clone(&message.payload)));
+                        if config.terminate_on_delivery {
+                            terminated.insert(message.id);
+                        }
                     }
-                    Err(_) => {
-                        self.report.upsets_detected += 1;
-                    }
+                    buffers[tile].insert(message);
                 }
             }
         }
@@ -479,9 +627,11 @@ impl Simulation {
             if !self.started {
                 self.ips[tile].on_start(&mut ctx);
             }
-            for (from, payload) in std::mem::take(&mut deliveries[tile]) {
+            let mut delivered = std::mem::take(&mut self.delivery_scratch[tile]);
+            for (from, payload) in delivered.drain(..) {
                 self.ips[tile].on_message(&mut ctx, from, &payload);
             }
+            self.delivery_scratch[tile] = delivered;
             self.ips[tile].on_round(&mut ctx);
             for (destination, payload) in ctx.take_outbox() {
                 self.inject_from_ip(node, destination, payload);
@@ -503,56 +653,88 @@ impl Simulation {
         }
         stats.live_messages = self.buffers.iter().map(|b| b.len() as u64).sum();
 
-        // Phase 4: forward with probability p per (message, link).
-        for tile in 0..n {
-            let p = self.forward_overrides[tile].unwrap_or(self.config.forward_probability);
-            let node = NodeId(tile);
-            if !self.tile_alive(node) || self.buffers[tile].is_empty() {
-                continue;
-            }
-            // Synchronization: a slipped tile delivers one round late.
-            let skew = self.injector.round_skew();
-            let slipped = self.clocks[tile].advance(skew);
-            let out_links: Vec<_> = self.topology.out_links(node).to_vec();
-            let mut messages: Vec<Message> = self.buffers[tile].iter().cloned().collect();
-            if let Some(limit) = self.egress_limits[tile] {
-                // Serve the buffer round-robin so a long-lived head does
-                // not starve later arrivals (bus-style fair arbitration).
-                if messages.len() > limit {
-                    let start = self.egress_cursors[tile] % messages.len();
-                    messages.rotate_left(start);
-                    messages.truncate(limit);
-                    self.egress_cursors[tile] = (start + limit) % self.buffers[tile].len().max(1);
+        // Phase 4: forward with probability p per (message, link). The
+        // buffer is walked by reference, each frame is encoded at most
+        // once per round through the memo, and fan-out shares the frame
+        // bytes by `Arc` instead of cloning them per link.
+        {
+            let Simulation {
+                ref topology,
+                ref config,
+                ref crash_schedule,
+                ref mut injector,
+                ref codec,
+                ref tiles_alive,
+                ref links_alive,
+                ref buffers,
+                ref mut clocks,
+                ref mut inbox_next,
+                ref mut inbox_later,
+                ref mut frame_memo,
+                ref egress_limits,
+                ref mut egress_next,
+                ref forward_overrides,
+                ref mut report,
+                ..
+            } = *self;
+            frame_memo.begin_round();
+            for tile in 0..n {
+                let node = NodeId(tile);
+                let msgs = buffers[tile].messages();
+                if !tiles_alive[tile] || crash_schedule.tile_dead(tile, round) || msgs.is_empty() {
+                    continue;
                 }
-            }
-            for message in &messages {
-                let frame = self.codec.encode(message);
-                for &link_id in &out_links {
-                    if p < 1.0 && !self.injector.rng().gen_bool_p(p) {
-                        continue;
+                let p = forward_overrides[tile].unwrap_or(config.forward_probability);
+                // Synchronization: a slipped tile delivers one round late.
+                let skew = injector.round_skew();
+                let slipped = clocks[tile].advance(skew);
+                let len = msgs.len();
+                let (start, count) = match egress_limits[tile] {
+                    // Serve the buffer round-robin so a long-lived head
+                    // does not starve later arrivals (bus-style fair
+                    // arbitration). The resume point is a message *id*:
+                    // an index cursor would drift whenever the buffer
+                    // shrinks between rounds (TTL expiry, termination
+                    // purges) and skip or double-serve survivors.
+                    Some(limit) if len > limit => {
+                        let start = egress_next[tile]
+                            .and_then(|id| msgs.iter().position(|m| m.id == id))
+                            .unwrap_or(0);
+                        egress_next[tile] = Some(msgs[(start + limit) % len].id);
+                        (start, limit)
                     }
-                    stats.transmissions += 1;
-                    self.report.packets_sent += 1;
-                    self.report.bits_sent += Bits((frame.len() * 8) as u64);
-                    let link_dead = !self.links_alive[link_id.index()]
-                        || self.crash_schedule.link_dead(link_id.index(), round);
-                    if link_dead {
-                        self.report.crash_drops += 1;
-                        continue;
-                    }
-                    let to = self.topology.link(link_id).to;
-                    let mut out = Frame {
-                        bytes: frame.clone(),
-                        scrambled: false,
-                    };
-                    if self.injector.upset_occurs() {
-                        self.injector.scramble(&mut out.bytes);
-                        out.scrambled = true;
-                    }
-                    if slipped {
-                        self.inbox_later[to.index()].push(out);
-                    } else {
-                        self.inbox_next[to.index()].push(out);
+                    _ => (0, len),
+                };
+                for k in 0..count {
+                    let message = &msgs[(start + k) % len];
+                    let frame = frame_memo.frame_for(codec, message);
+                    for &link_id in topology.out_links(node) {
+                        if p < 1.0 && !injector.rng().gen_bool_p(p) {
+                            continue;
+                        }
+                        stats.transmissions += 1;
+                        report.packets_sent += 1;
+                        report.bits_sent += Bits((frame.len() * 8) as u64);
+                        let link_dead = !links_alive[link_id.index()]
+                            || crash_schedule.link_dead(link_id.index(), round);
+                        if link_dead {
+                            report.crash_drops += 1;
+                            continue;
+                        }
+                        let to = topology.link(link_id).to;
+                        let mut out = Frame {
+                            bytes: Arc::clone(&frame),
+                            scrambled: false,
+                        };
+                        if injector.upset_occurs() {
+                            injector.scramble_shared(&mut out.bytes);
+                            out.scrambled = true;
+                        }
+                        if slipped {
+                            inbox_later[to.index()].push(out);
+                        } else {
+                            inbox_next[to.index()].push(out);
+                        }
                     }
                 }
             }
@@ -588,7 +770,7 @@ impl Simulation {
         let message = Message::new(id, source, destination, self.config.default_ttl, payload);
         if destination == source {
             self.report.record_delivery(id, self.round);
-            let frame = self.codec.encode(&message);
+            let frame: Arc<[u8]> = self.codec.encode(&message).into();
             self.inbox_next[source.index()].push(Frame {
                 bytes: frame,
                 scrambled: false,
@@ -596,34 +778,36 @@ impl Simulation {
             return;
         }
         self.buffers[source.index()].insert(message);
+        *self.informed.entry(id).or_insert(0) += 1;
     }
+}
 
-    /// Applies the configured overflow policy to a round's arrivals.
-    fn apply_overflow(&mut self, frames: Vec<Frame>) -> Vec<Frame> {
-        match self.injector.model().overflow_mode {
-            OverflowMode::Probabilistic => {
-                let p = self.injector.model().p_overflow;
-                if p == 0.0 {
-                    return frames;
-                }
-                let mut kept = Vec::with_capacity(frames.len());
-                for frame in frames {
-                    if self.injector.overflow_drop() {
-                        self.report.overflow_drops += 1;
-                    } else {
-                        kept.push(frame);
-                    }
-                }
-                kept
+/// Applies the configured overflow policy to one tile's arrivals in place,
+/// reusing the arrival arena's allocation.
+///
+/// Equivalent to filtering through [`noc_fabric::ReceiveBuffer`]: the
+/// probabilistic mode draws one Bernoulli sample per frame in arrival
+/// order, the structural mode keeps the newest `capacity` frames
+/// (drop-oldest).
+fn apply_overflow_in_place(
+    injector: &mut FaultInjector,
+    report: &mut SimulationReport,
+    frames: &mut Vec<Frame>,
+) {
+    match injector.model().overflow_mode {
+        OverflowMode::Probabilistic => {
+            if injector.model().p_overflow == 0.0 {
+                return;
             }
-            OverflowMode::Structural { capacity } => {
-                let mut buffer = ReceiveBuffer::bounded(capacity);
-                for frame in frames {
-                    if buffer.push(frame).is_some() {
-                        self.report.overflow_drops += 1;
-                    }
-                }
-                buffer.drain().collect()
+            let before = frames.len();
+            frames.retain(|_| !injector.overflow_drop());
+            report.overflow_drops += (before - frames.len()) as u64;
+        }
+        OverflowMode::Structural { capacity } => {
+            if frames.len() > capacity {
+                let excess = frames.len() - capacity;
+                frames.drain(..excess);
+                report.overflow_drops += excess as u64;
             }
         }
     }
@@ -1045,6 +1229,43 @@ mod tests {
         let (la, lb) = (la.unwrap(), lb.unwrap());
         assert_eq!(la.min(lb), 2, "one message still crosses immediately");
         assert!(la.max(lb) > 2, "the other queued behind the limit");
+    }
+
+    #[test]
+    fn egress_cursor_survives_expiring_head_message() {
+        // Line 0-1-2, node 1 limited to one forward per round. A is a
+        // round older than B and C, so it expires out of node 1's buffer
+        // while B and C still wait for service. The round-robin resume
+        // point must follow the *message* it owes service to: an index
+        // cursor recomputed against the shrunken buffer double-serves B
+        // and starves C entirely.
+        let line = Topology::from_links(
+            "line",
+            3,
+            [
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(0)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(2), NodeId(1)),
+            ],
+        );
+        let mut sim = SimulationBuilder::new(line)
+            .config(StochasticConfig::flooding(5).with_max_rounds(30))
+            .egress_limit(NodeId(1), 1)
+            .seed(1)
+            .build();
+        let a = sim.inject(NodeId(0), NodeId(2), vec![b'a']);
+        sim.step();
+        let b = sim.inject(NodeId(0), NodeId(2), vec![b'b']);
+        let c = sim.inject(NodeId(0), NodeId(2), vec![b'c']);
+        let report = sim.run();
+        assert_eq!(report.latency(a), Some(2), "head crosses unimpeded");
+        assert_eq!(report.latency(b), Some(3), "b served the round after a");
+        assert_eq!(
+            report.latency(c),
+            Some(4),
+            "c is served after a expires instead of being skipped"
+        );
     }
 
     #[test]

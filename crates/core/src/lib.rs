@@ -51,6 +51,7 @@
 mod config;
 mod engine;
 mod metrics;
+pub mod reference;
 pub mod seed;
 mod send_buffer;
 pub mod spread;

@@ -1,0 +1,174 @@
+//! Property test: the zero-copy engine is observably identical to the
+//! naive reference implementation.
+//!
+//! [`stochastic_noc::reference::ReferenceSimulation`] preserves the
+//! pre-optimization data flow (per-round allocations, full decode, one
+//! encode per tile, byte-cloned fan-out). The optimized engine replaces
+//! all of that with shared `Arc` frames, a per-round encode memo, and
+//! persistent arenas — none of which may change a single observable:
+//! every counter, the delivered set, and every latency must match across
+//! random topologies, fault models, crash schedules, and seeds.
+
+use noc_fabric::{NodeId, Topology};
+use noc_faults::{CrashSchedule, ErrorModel, FaultModel, OverflowMode};
+use proptest::prelude::*;
+use stochastic_noc::reference::ReferenceSimulation;
+use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
+
+/// Everything observable about a finished run, in comparable form.
+#[derive(Debug, PartialEq, Eq)]
+struct Observables {
+    rounds_executed: u64,
+    completed: bool,
+    packets_sent: u64,
+    bits_sent: u64,
+    upsets_detected: u64,
+    upsets_undetected: u64,
+    overflow_drops: u64,
+    crash_drops: u64,
+    clock_slips: u64,
+    ttl_expirations: u64,
+    /// `(id, source, destination, injected, delivered)` sorted by id.
+    records: Vec<(u64, usize, usize, u64, Option<u64>)>,
+}
+
+fn observe(report: &SimulationReport) -> Observables {
+    let mut records: Vec<_> = report
+        .records()
+        .map(|r| {
+            (
+                r.id.0,
+                r.source.index(),
+                r.destination.index(),
+                r.injected_round,
+                r.delivered_round,
+            )
+        })
+        .collect();
+    records.sort_unstable();
+    Observables {
+        rounds_executed: report.rounds_executed,
+        completed: report.completed,
+        packets_sent: report.packets_sent,
+        bits_sent: report.bits_sent.bits(),
+        upsets_detected: report.upsets_detected,
+        upsets_undetected: report.upsets_undetected,
+        overflow_drops: report.overflow_drops,
+        crash_drops: report.crash_drops,
+        clock_slips: report.clock_slips,
+        ttl_expirations: report.ttl_expirations,
+        records,
+    }
+}
+
+fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..6, 2usize..6).prop_map(|(w, h)| Topology::grid(w, h)),
+        (3usize..6, 3usize..6).prop_map(|(w, h)| Topology::torus(w, h)),
+        (4usize..12).prop_map(Topology::fully_connected),
+    ]
+}
+
+fn error_model_strategy() -> impl Strategy<Value = ErrorModel> {
+    prop_oneof![
+        Just(ErrorModel::RandomErrorVector),
+        Just(ErrorModel::RandomBitError),
+    ]
+}
+
+fn overflow_mode_strategy() -> impl Strategy<Value = OverflowMode> {
+    prop_oneof![
+        Just(OverflowMode::Probabilistic),
+        (2usize..6).prop_map(|capacity| OverflowMode::Structural { capacity }),
+    ]
+}
+
+fn fault_model_strategy() -> impl Strategy<Value = FaultModel> {
+    (
+        0.0f64..0.35,
+        0.0f64..0.25,
+        0.0f64..0.4,
+        0.0f64..0.15,
+        0.0f64..0.15,
+        error_model_strategy(),
+        overflow_mode_strategy(),
+    )
+        .prop_map(
+            |(p_upset, p_overflow, sigma, p_tiles, p_links, error_model, overflow_mode)| {
+                FaultModel::builder()
+                    .p_upset(p_upset)
+                    .p_overflow(p_overflow)
+                    .sigma_synch(sigma)
+                    .p_tiles(p_tiles)
+                    .p_links(p_links)
+                    .error_model(error_model)
+                    .overflow_mode(overflow_mode)
+                    .build()
+                    .expect("strategy generates valid models")
+            },
+        )
+}
+
+/// Raw `(index, round)` kill events, clamped to the topology inside the
+/// test since the node/link counts are topology-dependent.
+type KillEvents = Vec<(usize, u64)>;
+
+/// `(tile_kills, link_kills)` as raw indices.
+fn crash_strategy() -> impl Strategy<Value = (KillEvents, KillEvents)> {
+    (
+        proptest::collection::vec((0usize..64, 0u64..10), 0..3),
+        proptest::collection::vec((0usize..128, 0u64..10), 0..3),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_engine_matches_naive_reference(
+        topology in topology_strategy(),
+        p in 0.25f64..=1.0,
+        ttl in 4u8..16,
+        model in fault_model_strategy(),
+        (tile_kills, link_kills) in crash_strategy(),
+        seed in any::<u64>(),
+        injections in proptest::collection::vec(
+            (0usize..64, 0usize..64, proptest::collection::vec(any::<u8>(), 0..24)),
+            1..4,
+        ),
+    ) {
+        let n = topology.node_count();
+        let m = topology.link_count();
+        let mut schedule = CrashSchedule::new();
+        for (tile, round) in tile_kills {
+            schedule.kill_tile(tile % n, round);
+        }
+        for (link, round) in link_kills {
+            schedule.kill_link(link % m, round);
+        }
+        let config = StochasticConfig::new(p, ttl)
+            .expect("valid config")
+            .with_max_rounds(50);
+
+        let mut optimized = SimulationBuilder::new(topology.clone())
+            .config(config)
+            .fault_model(model)
+            .crash_schedule(schedule.clone())
+            .seed(seed)
+            .build();
+        let mut reference =
+            ReferenceSimulation::new(topology, config, model, schedule, seed);
+
+        for (src, dst, payload) in &injections {
+            let src = NodeId(src % n);
+            let dst = NodeId(dst % n);
+            let a = optimized.inject(src, dst, payload.clone());
+            let b = reference.inject(src, dst, payload.clone());
+            prop_assert_eq!(a, b, "message ids must be assigned identically");
+        }
+
+        let fast = observe(&optimized.run());
+        let naive = observe(&reference.run());
+        prop_assert_eq!(fast, naive);
+    }
+}

@@ -1,0 +1,196 @@
+//! Golden-report determinism regression tests.
+//!
+//! The digests below were captured from the engine *before* the zero-copy
+//! hot-path optimization (shared `Arc` frames, per-round CRC memoization,
+//! reusable round arenas). The optimized engine must reproduce every
+//! figure-table input byte-for-byte: same `(topology, config, fault
+//! model, seed)` → identical `SimulationReport`, including per-message
+//! delivery rounds. A mismatch here means the optimization changed
+//! observable behaviour, not just speed.
+
+use noc_fabric::{NodeId, Topology};
+use noc_faults::{CrashSchedule, ErrorModel, FaultModel, OverflowMode};
+use stochastic_noc::{Simulation, SimulationBuilder, SimulationReport, StochasticConfig};
+
+/// Serializes every observable field of a report into a stable string.
+fn digest(report: &SimulationReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rounds={} completed={} packets={} bits={} upd={} upu={} ovf={} crash={} slips={} ttlx={}\n",
+        report.rounds_executed,
+        report.completed,
+        report.packets_sent,
+        report.bits_sent.bits(),
+        report.upsets_detected,
+        report.upsets_undetected,
+        report.overflow_drops,
+        report.crash_drops,
+        report.clock_slips,
+        report.ttl_expirations,
+    ));
+    let mut records: Vec<_> = report.records().collect();
+    records.sort_by_key(|r| r.id);
+    for r in records {
+        out.push_str(&format!(
+            "{}:{}->{} inj={} del={:?} bits={}\n",
+            r.id,
+            r.source,
+            r.destination,
+            r.injected_round,
+            r.delivered_round,
+            r.frame_bits.bits(),
+        ));
+    }
+    out
+}
+
+fn check(name: &str, sim: &mut Simulation, expected: &str) {
+    let report = sim.run();
+    let actual = digest(&report);
+    assert_eq!(
+        actual.trim(),
+        expected.trim(),
+        "golden digest drifted for workload `{name}`:\n--- actual ---\n{actual}"
+    );
+}
+
+#[test]
+fn golden_grid4_flooding_fault_free() {
+    let mut sim = SimulationBuilder::new(Topology::grid(4, 4))
+        .config(StochasticConfig::flooding(12).with_max_rounds(40))
+        .seed(1)
+        .build();
+    sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
+    check("grid4_flooding_fault_free", &mut sim, GOLDEN_GRID4_FLOODING);
+}
+
+#[test]
+fn golden_grid8_gossip_under_faults() {
+    let model = FaultModel::builder()
+        .p_upset(0.2)
+        .p_overflow(0.1)
+        .sigma_synch(0.3)
+        .error_model(ErrorModel::RandomErrorVector)
+        .build()
+        .unwrap();
+    let mut sim = SimulationBuilder::new(Topology::grid(8, 8))
+        .forward_probability(0.5)
+        .ttl(20)
+        .max_rounds(100)
+        .fault_model(model)
+        .seed(42)
+        .build();
+    sim.inject(NodeId(0), NodeId(63), b"corner to corner".to_vec());
+    sim.inject(NodeId(9), NodeId(54), b"x".to_vec());
+    check("grid8_gossip_under_faults", &mut sim, GOLDEN_GRID8_GOSSIP);
+}
+
+#[test]
+fn golden_grid16_flooding_with_defects() {
+    let model = FaultModel::builder()
+        .p_upset(0.1)
+        .p_tiles(0.05)
+        .p_links(0.05)
+        .error_model(ErrorModel::RandomBitError)
+        .build()
+        .unwrap();
+    let mut sim = SimulationBuilder::new(Topology::grid(16, 16))
+        .config(StochasticConfig::flooding(24).with_max_rounds(60))
+        .fault_model(model)
+        .seed(7)
+        .build();
+    sim.inject(NodeId(0), NodeId(255), b"big grid".to_vec());
+    check(
+        "grid16_flooding_with_defects",
+        &mut sim,
+        GOLDEN_GRID16_FLOOD,
+    );
+}
+
+#[test]
+fn golden_torus_structural_overflow() {
+    let model = FaultModel::builder()
+        .sigma_synch(0.2)
+        .overflow_mode(OverflowMode::Structural { capacity: 4 })
+        .build()
+        .unwrap();
+    let mut sim = SimulationBuilder::new(Topology::torus(6, 6))
+        .forward_probability(0.35)
+        .ttl(18)
+        .max_rounds(80)
+        .fault_model(model)
+        .seed(9)
+        .build();
+    sim.inject(NodeId(0), NodeId(21), b"a".to_vec());
+    sim.inject(NodeId(17), NodeId(4), b"bb".to_vec());
+    sim.inject(NodeId(30), NodeId(8), b"ccc".to_vec());
+    check(
+        "torus_structural_overflow",
+        &mut sim,
+        GOLDEN_TORUS_STRUCTURAL,
+    );
+}
+
+#[test]
+fn golden_fully_connected_with_termination() {
+    let mut sim = SimulationBuilder::new(Topology::fully_connected(16))
+        .config(
+            StochasticConfig::flooding(6)
+                .with_max_rounds(30)
+                .with_termination(true),
+        )
+        .seed(11)
+        .build();
+    sim.inject(NodeId(2), NodeId(13), b"bus-like".to_vec());
+    check(
+        "fully_connected_with_termination",
+        &mut sim,
+        GOLDEN_FULL16_TERMINATION,
+    );
+}
+
+#[test]
+fn golden_grid6_with_crash_schedule() {
+    let mut schedule = CrashSchedule::new();
+    schedule.kill_tile(7, 0).kill_tile(14, 5).kill_link(3, 8);
+    let model = FaultModel::builder().p_upset(0.05).build().unwrap();
+    let mut sim = SimulationBuilder::new(Topology::grid(6, 6))
+        .forward_probability(0.6)
+        .ttl(15)
+        .max_rounds(60)
+        .fault_model(model)
+        .crash_schedule(schedule)
+        .seed(5)
+        .build();
+    sim.inject(NodeId(1), NodeId(34), b"survivor".to_vec());
+    sim.inject(NodeId(35), NodeId(0), b"reverse".to_vec());
+    check("grid6_with_crash_schedule", &mut sim, GOLDEN_GRID6_CRASH);
+}
+
+const GOLDEN_GRID4_FLOODING: &str = "\
+rounds=12 completed=true packets=440 bits=95040 upd=0 upu=0 ovf=0 crash=0 slips=0 ttlx=16
+m0:n5->n11 inj=0 del=Some(3) bits=216";
+
+const GOLDEN_GRID8_GOSSIP: &str = "\
+rounds=23 completed=true packets=1622 bits=291048 upd=282 upu=0 ovf=151 crash=0 slips=160 ttlx=113
+m0:n0->n63 inj=0 del=None bits=264
+m1:n9->n54 inj=0 del=Some(17) bits=144";
+
+const GOLDEN_GRID16_FLOOD: &str = "\
+rounds=24 completed=true packets=7238 bits=1447600 upd=643 upu=0 ovf=0 crash=665 slips=0 ttlx=215
+m0:n0->n255 inj=0 del=None bits=200";
+
+const GOLDEN_TORUS_STRUCTURAL: &str = "\
+rounds=19 completed=true packets=1842 bits=280064 upd=0 upu=0 ovf=312 crash=0 slips=64 ttlx=108
+m0:n0->n21 inj=0 del=Some(6) bits=144
+m1:n17->n4 inj=0 del=Some(9) bits=152
+m2:n30->n8 inj=0 del=Some(6) bits=160";
+
+const GOLDEN_FULL16_TERMINATION: &str = "\
+rounds=2 completed=true packets=15 bits=3000 upd=0 upu=0 ovf=0 crash=0 slips=0 ttlx=0
+m0:n2->n13 inj=0 del=Some(1) bits=200";
+
+const GOLDEN_GRID6_CRASH: &str = "\
+rounds=15 completed=true packets=937 bits=182952 upd=44 upu=0 ovf=0 crash=74 slips=0 ttlx=68
+m0:n1->n34 inj=0 del=Some(14) bits=200
+m1:n35->n0 inj=0 del=Some(13) bits=192";

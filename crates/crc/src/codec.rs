@@ -84,12 +84,27 @@ impl PacketCodec {
 
     /// Frames `payload`, returning `payload || crc_tag` (big-endian tag).
     pub fn encode(&self, payload: &[u8]) -> Vec<u8> {
-        let tag = self.crc.checksum(payload);
-        let n = self.overhead_bytes();
-        let mut out = Vec::with_capacity(payload.len() + n);
-        out.extend_from_slice(payload);
-        out.extend_from_slice(&tag.to_be_bytes()[8 - n..]);
+        let mut out = Vec::with_capacity(payload.len() + self.overhead_bytes());
+        self.encode_into(payload, &mut out);
         out
+    }
+
+    /// Appends `payload || crc_tag` to `out` without allocating, so a
+    /// caller encoding many packets can reuse one scratch buffer.
+    pub fn encode_into(&self, payload: &[u8], out: &mut Vec<u8>) {
+        let start = out.len();
+        out.extend_from_slice(payload);
+        self.append_tag(out, start);
+    }
+
+    /// Computes the CRC over `frame[body_start..]` and appends the
+    /// big-endian tag in place. The body must already be in `frame`; this
+    /// is the in-place half of [`PacketCodec::encode`] for callers that
+    /// build the packet body directly in a reusable buffer.
+    pub fn append_tag(&self, frame: &mut Vec<u8>, body_start: usize) {
+        let tag = self.crc.checksum(&frame[body_start..]);
+        let n = self.overhead_bytes();
+        frame.extend_from_slice(&tag.to_be_bytes()[8 - n..]);
     }
 
     /// Checks whether `frame` carries a consistent CRC tag.
@@ -148,6 +163,27 @@ mod tests {
         let framed = codec.encode(&[]);
         assert_eq!(framed.len(), 2);
         assert_eq!(codec.decode(&framed).unwrap(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_buffer() {
+        let codec = PacketCodec::new(CrcParams::CRC16_CCITT);
+        let mut scratch = Vec::new();
+        for payload in [&b"alpha"[..], &b""[..], &b"a longer payload body"[..]] {
+            scratch.clear();
+            codec.encode_into(payload, &mut scratch);
+            assert_eq!(scratch, codec.encode(payload));
+        }
+    }
+
+    #[test]
+    fn append_tag_respects_body_start() {
+        let codec = PacketCodec::new(CrcParams::CRC32);
+        let mut frame = b"prefix".to_vec();
+        let start = frame.len();
+        frame.extend_from_slice(b"body bytes");
+        codec.append_tag(&mut frame, start);
+        assert_eq!(codec.decode(&frame[start..]).unwrap(), b"body bytes");
     }
 
     #[test]

@@ -44,7 +44,7 @@ fn probe(
         let mut sim = builder(seed).build();
         let n = sim.node_count();
         let id = sim.inject(NodeId(0), NodeId(n - 1), vec![0x5A; 16]);
-        let report = sim.run();
+        let report = sim.run_to_report();
         (
             report.latency(id),
             report.packets_sent as f64,

@@ -80,7 +80,7 @@ fn run_noc(pairs: &[(usize, usize)], seed: u64) -> FabricMetrics {
         .iter()
         .map(|&(s, d)| sim.inject(NodeId(s), NodeId(d), vec![0xA5; PAYLOAD_BYTES]))
         .collect();
-    let report = sim.run();
+    let report = sim.run_to_report();
 
     // Round duration from Equation 2 with the measured per-link load.
     let link_count = (2 * (4 * 3 + 4 * 3)) as f64;

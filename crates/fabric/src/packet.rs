@@ -9,6 +9,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 use noc_crc::{CrcParams, DecodeError, PacketCodec};
 use noc_energy::Bits;
@@ -55,25 +56,28 @@ pub struct Message {
     /// Remaining time-to-live in hops; decremented once per round, the
     /// message is garbage-collected at zero.
     pub ttl: u8,
-    /// Application payload bytes.
-    pub payload: Vec<u8>,
+    /// Application payload bytes, shared by reference between the copies a
+    /// simulation holds (send-buffer entries, deliveries, encode memos), so
+    /// gossip fan-out never duplicates the bytes.
+    pub payload: Arc<[u8]>,
 }
 
 impl Message {
-    /// Creates a message.
+    /// Creates a message. Accepts anything convertible into shared bytes
+    /// (`Vec<u8>`, `&[u8]`, `Arc<[u8]>`, …).
     pub fn new(
         id: MessageId,
         source: NodeId,
         destination: NodeId,
         ttl: u8,
-        payload: Vec<u8>,
+        payload: impl Into<Arc<[u8]>>,
     ) -> Self {
         Self {
             id,
             source,
             destination,
             ttl,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -91,6 +95,39 @@ impl Message {
 /// Fixed header size on the wire: id (8) + source (2) + destination (2) +
 /// ttl (1) + payload length (2).
 pub const HEADER_BYTES: usize = 8 + 2 + 2 + 1 + 2;
+
+/// A parsed packet borrowing its payload from the frame it was decoded
+/// from — the zero-copy result of [`WireCodec::decode_view`].
+///
+/// Receive paths that only inspect the header (duplicate suppression,
+/// destination match) never touch the payload bytes; call
+/// [`MessageView::to_message`] only when the message is actually retained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MessageView<'a> {
+    /// Unique message identity.
+    pub id: MessageId,
+    /// Originating tile.
+    pub source: NodeId,
+    /// Destination tile.
+    pub destination: NodeId,
+    /// Remaining time-to-live carried on the wire.
+    pub ttl: u8,
+    /// Payload bytes, borrowed from the decoded frame.
+    pub payload: &'a [u8],
+}
+
+impl MessageView<'_> {
+    /// Materializes an owned [`Message`], allocating shared payload bytes.
+    pub fn to_message(&self) -> Message {
+        Message {
+            id: self.id,
+            source: self.source,
+            destination: self.destination,
+            ttl: self.ttl,
+            payload: Arc::from(self.payload),
+        }
+    }
+}
 
 /// Error returned when a received frame cannot be parsed back into a
 /// [`Message`].
@@ -193,6 +230,15 @@ impl WireCodec {
     /// Panics if the payload exceeds `u16::MAX` bytes or either node index
     /// exceeds `u16::MAX` (the wire format's field widths).
     pub fn encode(&self, message: &Message) -> Vec<u8> {
+        let mut frame = Vec::with_capacity(self.frame_bytes(message.payload.len()));
+        self.encode_into(message, &mut frame);
+        frame
+    }
+
+    /// Frames a message by appending the wire bytes to `out`, so callers
+    /// encoding every round can reuse one scratch buffer instead of
+    /// allocating per packet. Same panics as [`WireCodec::encode`].
+    pub fn encode_into(&self, message: &Message, out: &mut Vec<u8>) {
         assert!(
             message.payload.len() <= u16::MAX as usize,
             "payload too large for wire format"
@@ -202,14 +248,14 @@ impl WireCodec {
                 && message.destination.index() <= u16::MAX as usize,
             "node index too large for wire format"
         );
-        let mut bytes = Vec::with_capacity(HEADER_BYTES + message.payload.len());
-        bytes.extend_from_slice(&message.id.0.to_be_bytes());
-        bytes.extend_from_slice(&(message.source.index() as u16).to_be_bytes());
-        bytes.extend_from_slice(&(message.destination.index() as u16).to_be_bytes());
-        bytes.push(message.ttl);
-        bytes.extend_from_slice(&(message.payload.len() as u16).to_be_bytes());
-        bytes.extend_from_slice(&message.payload);
-        self.codec.encode(&bytes)
+        let body_start = out.len();
+        out.extend_from_slice(&message.id.0.to_be_bytes());
+        out.extend_from_slice(&(message.source.index() as u16).to_be_bytes());
+        out.extend_from_slice(&(message.destination.index() as u16).to_be_bytes());
+        out.push(message.ttl);
+        out.extend_from_slice(&(message.payload.len() as u16).to_be_bytes());
+        out.extend_from_slice(&message.payload);
+        self.codec.append_tag(out, body_start);
     }
 
     /// Verifies the CRC and parses the frame back into a message.
@@ -221,31 +267,88 @@ impl WireCodec {
     /// [`ParsePacketError::LengthMismatch`] if a frame with a consistent
     /// tag does not carry a well-formed packet.
     pub fn decode(&self, frame: &[u8]) -> Result<Message, ParsePacketError> {
-        let body = self.codec.decode(frame).map_err(ParsePacketError::Crc)?;
-        if body.len() < HEADER_BYTES {
-            return Err(ParsePacketError::MalformedHeader { len: body.len() });
-        }
-        let id = MessageId(u64::from_be_bytes(body[0..8].try_into().expect("8 bytes")));
-        let source = NodeId(u16::from_be_bytes(body[8..10].try_into().expect("2 bytes")) as usize);
-        let destination =
-            NodeId(u16::from_be_bytes(body[10..12].try_into().expect("2 bytes")) as usize);
-        let ttl = body[12];
-        let declared = u16::from_be_bytes(body[13..15].try_into().expect("2 bytes")) as usize;
-        let payload = &body[HEADER_BYTES..];
-        if declared != payload.len() {
-            return Err(ParsePacketError::LengthMismatch {
-                declared,
-                actual: payload.len(),
-            });
-        }
-        Ok(Message {
-            id,
-            source,
-            destination,
-            ttl,
-            payload: payload.to_vec(),
-        })
+        self.decode_view(frame).map(|view| view.to_message())
     }
+
+    /// Verifies the CRC and parses the frame into a borrowed
+    /// [`MessageView`] without copying the payload. Same errors as
+    /// [`WireCodec::decode`].
+    ///
+    /// # Errors
+    ///
+    /// See [`WireCodec::decode`].
+    pub fn decode_view<'a>(&self, frame: &'a [u8]) -> Result<MessageView<'a>, ParsePacketError> {
+        let body = self.codec.decode(frame).map_err(ParsePacketError::Crc)?;
+        parse_body(body)
+    }
+
+    /// Parses a frame *known to be exactly as this codec encoded it* —
+    /// e.g. one that never left the simulator's control unscrambled —
+    /// without recomputing the CRC: the tag is correct by construction.
+    /// Debug builds still verify it. Frames that may have been corrupted
+    /// must take [`WireCodec::decode_view`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Same header errors as [`WireCodec::decode_view`]; unreachable for
+    /// genuinely self-encoded frames.
+    pub fn decode_view_trusted<'a>(
+        &self,
+        frame: &'a [u8],
+    ) -> Result<MessageView<'a>, ParsePacketError> {
+        let tag = self.codec.overhead_bytes();
+        if frame.len() < tag {
+            return Err(ParsePacketError::MalformedHeader { len: frame.len() });
+        }
+        debug_assert!(
+            self.codec.verify(frame),
+            "decode_view_trusted on a frame with an inconsistent crc"
+        );
+        parse_body(&frame[..frame.len() - tag])
+    }
+
+    /// Reads the message id at its fixed header offset without verifying
+    /// the CRC or parsing the rest of the frame. Returns `None` for
+    /// frames too short to be a packet.
+    ///
+    /// Duplicate suppression on trusted (never-scrambled) frames needs
+    /// only this: most arrivals in a flood are copies of an
+    /// already-buffered message, and they can be rejected on the id alone.
+    pub fn peek_id(&self, frame: &[u8]) -> Option<MessageId> {
+        if frame.len() < HEADER_BYTES + self.codec.overhead_bytes() {
+            return None;
+        }
+        Some(MessageId(u64::from_be_bytes(
+            frame[0..8].try_into().expect("8 bytes"),
+        )))
+    }
+}
+
+/// Parses a tag-stripped packet body into a borrowed view.
+fn parse_body(body: &[u8]) -> Result<MessageView<'_>, ParsePacketError> {
+    if body.len() < HEADER_BYTES {
+        return Err(ParsePacketError::MalformedHeader { len: body.len() });
+    }
+    let id = MessageId(u64::from_be_bytes(body[0..8].try_into().expect("8 bytes")));
+    let source = NodeId(u16::from_be_bytes(body[8..10].try_into().expect("2 bytes")) as usize);
+    let destination =
+        NodeId(u16::from_be_bytes(body[10..12].try_into().expect("2 bytes")) as usize);
+    let ttl = body[12];
+    let declared = u16::from_be_bytes(body[13..15].try_into().expect("2 bytes")) as usize;
+    let payload = &body[HEADER_BYTES..];
+    if declared != payload.len() {
+        return Err(ParsePacketError::LengthMismatch {
+            declared,
+            actual: payload.len(),
+        });
+    }
+    Ok(MessageView {
+        id,
+        source,
+        destination,
+        ttl,
+        payload,
+    })
 }
 
 #[cfg(test)]
@@ -278,6 +381,47 @@ mod tests {
         let frame = codec.encode(&m);
         assert_eq!(frame.len(), codec.frame_bytes(32));
         assert_eq!(codec.frame_bits(32).bits(), (frame.len() * 8) as u64);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        let codec = WireCodec::default();
+        let mut scratch = Vec::new();
+        for m in [msg(vec![]), msg(vec![1]), msg(vec![0xAA; 50])] {
+            scratch.clear();
+            codec.encode_into(&m, &mut scratch);
+            assert_eq!(scratch, codec.encode(&m));
+        }
+    }
+
+    #[test]
+    fn decode_view_borrows_the_frame_payload() {
+        let codec = WireCodec::default();
+        let m = msg(b"zero copy".to_vec());
+        let frame = codec.encode(&m);
+        let view = codec.decode_view(&frame).unwrap();
+        assert_eq!(view.id, m.id);
+        assert_eq!(view.source, m.source);
+        assert_eq!(view.destination, m.destination);
+        assert_eq!(view.ttl, m.ttl);
+        assert_eq!(view.payload, &m.payload[..]);
+        // The view's payload is a sub-slice of the frame, not a copy.
+        let frame_range = frame.as_ptr() as usize..frame.as_ptr() as usize + frame.len();
+        assert!(frame_range.contains(&(view.payload.as_ptr() as usize)));
+        assert_eq!(view.to_message(), m);
+    }
+
+    #[test]
+    fn trusted_decode_and_peek_match_full_decode() {
+        let codec = WireCodec::default();
+        let m = msg(b"fast path".to_vec());
+        let frame = codec.encode(&m);
+        assert_eq!(codec.peek_id(&frame), Some(m.id));
+        assert_eq!(
+            codec.decode_view_trusted(&frame).unwrap(),
+            codec.decode_view(&frame).unwrap()
+        );
+        assert_eq!(codec.peek_id(&[0u8; 4]), None, "too short to peek");
     }
 
     #[test]

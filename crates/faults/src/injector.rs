@@ -170,6 +170,24 @@ impl FaultInjector {
         model.scramble(&mut self.rng, payload, p);
     }
 
+    /// Copy-on-write [`FaultInjector::scramble`] for a frame shared between
+    /// in-flight copies: clones the bytes once, scrambles the clone in
+    /// place, and swaps the fresh allocation into `frame`. Other holders of
+    /// the original `Arc` are unaffected, so one upset never corrupts the
+    /// fan-out siblings of the same transmission.
+    ///
+    /// Draws exactly the same RNG sequence as [`FaultInjector::scramble`]
+    /// on the same bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is empty.
+    pub fn scramble_shared(&mut self, frame: &mut std::sync::Arc<[u8]>) {
+        let mut copy = frame.to_vec();
+        self.scramble(&mut copy);
+        *frame = copy.into();
+    }
+
     /// Is a received packet dropped by (probabilistic) buffer overflow?
     pub fn overflow_drop(&mut self) -> bool {
         self.bernoulli(self.model.p_overflow)
@@ -294,6 +312,25 @@ mod tests {
         assert_eq!(s.dead_tile_count(), 1);
         assert_eq!(s.dead_link_count(), 1);
         assert_eq!(s.tile_events().collect::<Vec<_>>(), vec![(2, 10)]);
+    }
+
+    #[test]
+    fn scramble_shared_leaves_other_holders_untouched() {
+        let mut inj = FaultInjector::new(model(0.5, 0.0), 9);
+        let original: std::sync::Arc<[u8]> = vec![0u8; 8].into();
+        let mut scrambled = std::sync::Arc::clone(&original);
+        inj.scramble_shared(&mut scrambled);
+        assert!(
+            original.iter().all(|&b| b == 0),
+            "CoW preserved the original"
+        );
+        assert!(scrambled.iter().any(|&b| b != 0));
+
+        // Same seed, same bytes: the shared path draws the identical stream.
+        let mut inj2 = FaultInjector::new(model(0.5, 0.0), 9);
+        let mut plain = vec![0u8; 8];
+        inj2.scramble(&mut plain);
+        assert_eq!(&scrambled[..], &plain[..]);
     }
 
     #[test]

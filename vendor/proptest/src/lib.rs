@@ -59,6 +59,67 @@ pub mod strategy {
 
         /// Draws one value.
         fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps sampled values through `map`, like upstream proptest's
+        /// `Strategy::prop_map` (minus shrinking).
+        fn prop_map<O, F>(self, map: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, map }
+        }
+    }
+
+    /// Strategy returning clones of one fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        map: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.map)(self.source.sample(rng))
+        }
+    }
+
+    /// Uniform choice between strategies of one value type — the backing
+    /// of [`prop_oneof!`](crate::prop_oneof) (upstream's weighted unions
+    /// are not supported; every arm is equally likely).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `arms`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `arms` is empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut StdRng) -> T {
+            let arm = rng.gen_range(0..self.arms.len());
+            self.arms[arm].sample(rng)
+        }
     }
 
     macro_rules! impl_range_strategy {
@@ -107,6 +168,10 @@ pub mod strategy {
     impl_tuple_strategy!(A, B);
     impl_tuple_strategy!(A, B, C);
     impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
 }
 
 /// Collection strategies.
@@ -178,9 +243,11 @@ pub mod __rt {
 
 /// The imports a proptest test module needs.
 pub mod prelude {
-    pub use crate::strategy::Strategy;
+    pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::Config as ProptestConfig;
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Declares deterministic property tests (see crate docs for the
@@ -238,6 +305,20 @@ macro_rules! __proptest_items {
         }
         $crate::__proptest_items! { ($cfg) $($rest)* }
     };
+}
+
+/// Uniform choice between strategies producing the same value type.
+///
+/// Unlike upstream proptest, arms are equally weighted and `weight =>`
+/// prefixes are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {{
+        let arms: ::std::vec::Vec<
+            ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>>,
+        > = ::std::vec![$(::std::boxed::Box::new($arm)),+];
+        $crate::strategy::Union::new(arms)
+    }};
 }
 
 /// Fails the current case unless `cond` holds.
@@ -334,6 +415,19 @@ mod tests {
         fn assume_rejects_without_failing(a in 0u32..4, b in 0u32..4) {
             prop_assume!(a != b);
             prop_assert!(a != b);
+        }
+
+        #[test]
+        fn map_just_and_oneof_combinators(
+            doubled in (1usize..10).prop_map(|x| x * 2),
+            fixed in Just(7u8),
+            either in prop_oneof![Just(1u8), Just(2u8), 10u8..20],
+            wide in (0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2, 0u8..2),
+        ) {
+            prop_assert!(doubled % 2 == 0 && (2..20).contains(&doubled));
+            prop_assert_eq!(fixed, 7);
+            prop_assert!(either == 1 || either == 2 || (10..20).contains(&either));
+            prop_assert!(wide.7 < 2, "8-tuples sample");
         }
     }
 
