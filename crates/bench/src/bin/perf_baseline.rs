@@ -15,6 +15,13 @@
 //! no-op shim) to `BENCH_PR2.json`, establishing the repo's perf
 //! trajectory; see EXPERIMENTS.md for methodology.
 //!
+//! Since the event-tracing layer landed, the optimized engine routes
+//! every decision point through an [`stochastic_noc::EventSink`]. A
+//! second measurement section times the 8×8 workloads with the default
+//! build, an explicit `NullSink`, and a `CounterSink`, and gates the
+//! NullSink path at ≤ 2% overhead: the monomorphized no-op sink must
+//! not cost throughput (the `CounterSink` number is informational).
+//!
 //! Usage: `cargo run --release -p noc-bench --bin perf_baseline --
 //! [--scale quick|full] [--out PATH]`
 
@@ -23,7 +30,7 @@ use std::time::Instant;
 
 use noc_faults::{CrashSchedule, ErrorModel, FaultModel};
 use stochastic_noc::reference::ReferenceSimulation;
-use stochastic_noc::{SimulationBuilder, StochasticConfig};
+use stochastic_noc::{CounterSink, EventSink, NullSink, SimulationBuilder, StochasticConfig};
 
 use noc_fabric::{NodeId, Topology};
 
@@ -182,6 +189,111 @@ fn run_optimized(w: &Workload, reps: usize) -> Measurement {
     }
 }
 
+/// One timed batch of `reps` full runs of a workload built with `sink`.
+///
+/// Returns `(seconds, rounds, packets)`; the totals double as a
+/// determinism check across sink variants — sinks observe, they never
+/// steer the schedule.
+fn sink_batch<S: EventSink, F: Fn() -> S>(w: &Workload, reps: usize, sink: F) -> (f64, u64, u64) {
+    let mut rounds = 0u64;
+    let mut packets = 0u64;
+    let start = Instant::now();
+    for rep in 0..reps {
+        let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
+            .config(w.config)
+            .fault_model(fault_model(w.faulty))
+            .seed(SEED + rep as u64)
+            .build_with_sink(sink());
+        for (s, d) in pairs(w.side, w.injections) {
+            sim.inject(s, d, vec![0xA5; 16]);
+        }
+        let report = sim.run_to_report();
+        rounds += report.rounds_executed;
+        packets += report.packets_sent;
+    }
+    (start.elapsed().as_secs_f64(), rounds, packets)
+}
+
+/// Like [`sink_batch`] but through the default `build()` path.
+fn default_batch(w: &Workload, reps: usize) -> (f64, u64, u64) {
+    let mut rounds = 0u64;
+    let mut packets = 0u64;
+    let start = Instant::now();
+    for rep in 0..reps {
+        let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
+            .config(w.config)
+            .fault_model(fault_model(w.faulty))
+            .seed(SEED + rep as u64)
+            .build();
+        for (s, d) in pairs(w.side, w.injections) {
+            sim.inject(s, d, vec![0xA5; 16]);
+        }
+        let report = sim.run_to_report();
+        rounds += report.rounds_executed;
+        packets += report.packets_sent;
+    }
+    (start.elapsed().as_secs_f64(), rounds, packets)
+}
+
+/// Best-of interleaved timings for one workload across sink variants.
+struct SinkOverhead {
+    default_secs: f64,
+    null_secs: f64,
+    counter_secs: f64,
+}
+
+impl SinkOverhead {
+    /// NullSink overhead over the default build, as a fraction (0.02 = 2%).
+    fn null_overhead(&self) -> f64 {
+        self.null_secs / self.default_secs.max(1e-12) - 1.0
+    }
+
+    /// CounterSink overhead over the default build (informational).
+    fn counter_overhead(&self) -> f64 {
+        self.counter_secs / self.default_secs.max(1e-12) - 1.0
+    }
+}
+
+/// Interleaves `samples` batches of each variant and keeps the best
+/// (minimum) time per variant, so slow outliers (scheduler noise,
+/// frequency ramps) hit every variant equally and drop out of the
+/// comparison.
+fn measure_sink_overhead(w: &Workload, reps: usize, samples: usize) -> SinkOverhead {
+    let baseline = default_batch(w, reps); // warm-up + reference totals
+    let mut best = SinkOverhead {
+        default_secs: f64::INFINITY,
+        null_secs: f64::INFINITY,
+        counter_secs: f64::INFINITY,
+    };
+    for _ in 0..samples {
+        let (t, r, p) = default_batch(w, reps);
+        assert_eq!(
+            (r, p),
+            (baseline.1, baseline.2),
+            "{}: default drifted",
+            w.name
+        );
+        best.default_secs = best.default_secs.min(t);
+        let (t, r, p) = sink_batch(w, reps, || NullSink);
+        assert_eq!(
+            (r, p),
+            (baseline.1, baseline.2),
+            "{}: NullSink perturbed",
+            w.name
+        );
+        best.null_secs = best.null_secs.min(t);
+        let (t, r, p) = sink_batch(w, reps, CounterSink::new);
+        assert_eq!(
+            (r, p),
+            (baseline.1, baseline.2),
+            "{}: CounterSink perturbed",
+            w.name
+        );
+        best.counter_secs = best.counter_secs.min(t);
+    }
+    best
+}
+
 fn main() {
     let mut scale = "full".to_string();
     let mut out_path = "BENCH_PR2.json".to_string();
@@ -272,6 +384,44 @@ fn main() {
         let _ = writeln!(json, "      \"after_seconds\": {:.6},", after.seconds);
         let _ = writeln!(json, "      \"speedup\": {speedup:.3}");
         json.push_str(if i + 1 == all.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    json.push_str("  ],\n");
+
+    // Event-sink overhead on the 8x8 matrix: the default build, an
+    // explicit NullSink and a CounterSink must execute the identical
+    // schedule; the NullSink path is gated at <= 2% overhead.
+    let samples = if reps >= 25 { 7 } else { 5 };
+    json.push_str("  \"sink_overhead\": [\n");
+    let grid8: Vec<&Workload> = all.iter().filter(|w| w.side == 8).collect();
+    for (i, w) in grid8.iter().enumerate() {
+        let m = measure_sink_overhead(w, reps, samples);
+        let null_pct = 100.0 * m.null_overhead();
+        let counter_pct = 100.0 * m.counter_overhead();
+        eprintln!(
+            "{:<28} NullSink overhead {:>+6.2}%   CounterSink overhead {:>+6.2}%   (best of {samples})",
+            w.name, null_pct, counter_pct
+        );
+        if m.null_overhead() > 0.02 {
+            failures.push(format!("{}: NullSink overhead {null_pct:.2}% > 2%", w.name));
+        }
+        json.push_str("    {\n");
+        let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(json, "      \"runs_per_sample\": {reps},");
+        let _ = writeln!(json, "      \"best_of_samples\": {samples},");
+        let _ = writeln!(json, "      \"default_seconds\": {:.6},", m.default_secs);
+        let _ = writeln!(json, "      \"null_sink_seconds\": {:.6},", m.null_secs);
+        let _ = writeln!(
+            json,
+            "      \"counter_sink_seconds\": {:.6},",
+            m.counter_secs
+        );
+        let _ = writeln!(json, "      \"null_overhead_pct\": {null_pct:.3},");
+        let _ = writeln!(json, "      \"counter_overhead_pct\": {counter_pct:.3}");
+        json.push_str(if i + 1 == grid8.len() {
             "    }\n"
         } else {
             "    },\n"

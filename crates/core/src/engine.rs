@@ -22,7 +22,8 @@
 
 use noc_energy::{Bits, TechnologyLibrary};
 use noc_fabric::{
-    ClockDomain, Grid2d, IpContext, IpCore, Message, MessageId, NodeId, NullIp, Topology, WireCodec,
+    ClockDomain, Grid2d, IpContext, IpCore, LinkId, Message, MessageId, NodeId, NullIp, Topology,
+    WireCodec,
 };
 use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
 
@@ -30,19 +31,22 @@ use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 use crate::config::StochasticConfig;
+use crate::events::{DropSite, EventSink, NullSink, SimEvent};
 use crate::metrics::{MessageRecord, SimulationReport};
-use crate::send_buffer::SendBuffer;
+use crate::send_buffer::{InsertOutcome, SendBuffer};
 
 /// A frame in flight on a link.
 ///
 /// The wire bytes are shared: fanning one transmission out to `d` links
 /// clones the `Arc`, not the frame. A scrambled copy is rewritten
 /// copy-on-write by [`FaultInjector::scramble_shared`], so corruption on
-/// one link never leaks into sibling copies.
+/// one link never leaks into sibling copies. The arrival link (`None`
+/// for local loopback) rides along purely for event attribution.
 #[derive(Debug, Clone)]
 struct Frame {
     bytes: Arc<[u8]>,
     scrambled: bool,
+    via: Option<LinkId>,
 }
 
 /// One remembered encoding in the per-round [`FrameMemo`].
@@ -280,13 +284,29 @@ impl SimulationBuilder {
         self
     }
 
-    /// Finalizes the simulation.
+    /// Finalizes the simulation with the default [`NullSink`] — the
+    /// zero-overhead engine; every event emission point monomorphizes
+    /// away.
     ///
     /// # Panics
     ///
     /// Panics if the protocol configuration or fault model is invalid
     /// (construct them through their checked builders to avoid this).
     pub fn build(self) -> Simulation {
+        self.build_with_sink(NullSink)
+    }
+
+    /// Finalizes the simulation with an installed [`EventSink`].
+    ///
+    /// The sink observes the packet lifecycle ([`SimEvent`]) but cannot
+    /// influence it: the run — RNG streams, report, digests — is
+    /// byte-identical whatever sink is installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the protocol configuration or fault model is invalid
+    /// (construct them through their checked builders to avoid this).
+    pub fn build_with_sink<S: EventSink>(self, sink: S) -> Simulation<S> {
         self.config
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
@@ -301,6 +321,7 @@ impl SimulationBuilder {
             .map(|ip| ip.unwrap_or_else(|| Box::new(NullIp)))
             .collect();
         Simulation {
+            sink,
             egress_next: vec![None; self.egress_limits.len()],
             egress_limits: self.egress_limits,
             forward_overrides: self.forward_overrides,
@@ -334,7 +355,14 @@ impl SimulationBuilder {
 ///
 /// Drive it with [`Simulation::run`] (to completion or budget) or
 /// round-by-round with [`Simulation::step`].
-pub struct Simulation {
+///
+/// The engine is generic over its [`EventSink`]: the default
+/// [`NullSink`] build pays nothing for instrumentation, while
+/// [`SimulationBuilder::build_with_sink`] installs an observer of the
+/// full packet lifecycle without changing a single observable (enforced
+/// by the golden-report digests).
+pub struct Simulation<S: EventSink = NullSink> {
+    sink: S,
     topology: Topology,
     config: StochasticConfig,
     crash_schedule: CrashSchedule,
@@ -372,7 +400,7 @@ pub struct Simulation {
     completed: bool,
 }
 
-impl Simulation {
+impl<S: EventSink> Simulation<S> {
     /// Number of tiles in the network.
     pub fn node_count(&self) -> usize {
         self.topology.node_count()
@@ -433,10 +461,44 @@ impl Simulation {
         &self.report
     }
 
+    /// The installed event sink.
+    pub fn sink(&self) -> &S {
+        &self.sink
+    }
+
+    /// Mutable access to the installed event sink.
+    pub fn sink_mut(&mut self) -> &mut S {
+        &mut self.sink
+    }
+
+    /// Consumes the simulation, returning the installed sink by move.
+    pub fn into_sink(self) -> S {
+        self.sink
+    }
+
     /// Consumes the simulation, returning the report by move.
     pub fn into_report(mut self) -> SimulationReport {
         self.finalize_report();
         self.report
+    }
+
+    /// The injection-side fault ledger: how many upsets, overflow drops
+    /// and skew draws the fault injector has actually fired so far.
+    /// Event attribution is bounded by these totals (a fired upset can
+    /// still be crash- or overflow-dropped before the CRC sees it).
+    pub fn injection_tally(&self) -> noc_faults::InjectionTally {
+        self.injector.tally()
+    }
+
+    /// Runs to completion/budget, then returns both the report and the
+    /// installed sink by move — the one-call form for trials that want
+    /// the attributed event view next to the global totals.
+    pub fn run_to_report_and_sink(mut self) -> (SimulationReport, S) {
+        while !self.completed && self.round < self.config.max_rounds {
+            self.step();
+        }
+        self.finalize_report();
+        (self.report, self.sink)
     }
 
     /// Folds the per-component tallies (clock slips, TTL expirations) into
@@ -470,12 +532,20 @@ impl Simulation {
             return id;
         }
         if destination == source {
-            self.report.record_delivery(id, self.round);
+            if self.report.record_delivery(id, self.round) {
+                self.sink.emit(SimEvent::Delivery {
+                    round: self.round,
+                    tile: source,
+                    message: id,
+                    source,
+                });
+            }
             // Local loopback skips the network; the IP sees it next round.
             let frame: Arc<[u8]> = self.codec.encode(&message).into();
             self.inbox_next[source.index()].push(Frame {
                 bytes: frame,
                 scrambled: false,
+                via: None,
             });
             return id;
         }
@@ -545,6 +615,7 @@ impl Simulation {
                 ref mut terminated,
                 ref mut informed,
                 ref mut report,
+                ref mut sink,
                 ..
             } = *self;
             for tile in 0..n {
@@ -555,10 +626,16 @@ impl Simulation {
                 let node = NodeId(tile);
                 if !tiles_alive[tile] || crash_schedule.tile_dead(tile, round) {
                     report.crash_drops += frames.len() as u64;
+                    for _ in 0..frames.len() {
+                        sink.emit(SimEvent::CrashDrop {
+                            round,
+                            site: DropSite::Tile(node),
+                        });
+                    }
                     frames.clear();
                     continue;
                 }
-                apply_overflow_in_place(injector, report, frames);
+                apply_overflow_in_place(injector, report, sink, round, node, frames);
                 for frame in frames.drain(..) {
                     let view = if frame.scrambled {
                         // A scrambled frame must take the real CRC check:
@@ -567,18 +644,40 @@ impl Simulation {
                         match codec.decode_view(&frame.bytes) {
                             Ok(view) => {
                                 if terminated.contains(&view.id) {
-                                    continue; // spread already terminated
+                                    // Spread already terminated.
+                                    sink.emit(SimEvent::DuplicateDrop {
+                                        round,
+                                        tile: node,
+                                        message: view.id,
+                                    });
+                                    continue;
                                 }
                                 // The CRC failed to notice the upset: the
                                 // corrupt message proceeds, faithfully.
                                 report.upsets_undetected += 1;
+                                sink.emit(SimEvent::UndetectedUpset {
+                                    round,
+                                    tile: node,
+                                    message: view.id,
+                                });
                                 if buffers[tile].has_seen(view.id) {
-                                    continue; // duplicate: insertion is a no-op
+                                    // Duplicate: insertion is a no-op.
+                                    sink.emit(SimEvent::DuplicateDrop {
+                                        round,
+                                        tile: node,
+                                        message: view.id,
+                                    });
+                                    continue;
                                 }
                                 view
                             }
                             Err(_) => {
                                 report.upsets_detected += 1;
+                                sink.emit(SimEvent::CrcReject {
+                                    round,
+                                    tile: node,
+                                    link: frame.via,
+                                });
                                 continue;
                             }
                         }
@@ -593,6 +692,11 @@ impl Simulation {
                             .peek_id(&frame.bytes)
                             .expect("self-encoded frames carry a full header");
                         if terminated.contains(&id) || buffers[tile].has_seen(id) {
+                            sink.emit(SimEvent::DuplicateDrop {
+                                round,
+                                tile: node,
+                                message: id,
+                            });
                             continue;
                         }
                         codec
@@ -604,14 +708,32 @@ impl Simulation {
                     // bytes off the borrowed frame.
                     let message = view.to_message();
                     if message.destination == node {
-                        report.record_delivery(message.id, round);
+                        if report.record_delivery(message.id, round) {
+                            sink.emit(SimEvent::Delivery {
+                                round,
+                                tile: node,
+                                message: message.id,
+                                source: message.source,
+                            });
+                        }
                         stats.deliveries += 1;
                         delivery_scratch[tile].push((message.source, Arc::clone(&message.payload)));
                         if config.terminate_on_delivery {
                             terminated.insert(message.id);
                         }
                     }
-                    buffers[tile].insert(message);
+                    let id = message.id;
+                    if buffers[tile].insert_checked(message) == InsertOutcome::ExpiredOnArrival {
+                        // Only reachable when an undetected upset zeroed
+                        // the TTL field: the id is consumed, the buffer
+                        // counts an expiry, and the event stream must
+                        // agree.
+                        sink.emit(SimEvent::TtlExpiry {
+                            round,
+                            tile: node,
+                            message: id,
+                        });
+                    }
                 }
             }
         }
@@ -648,8 +770,17 @@ impl Simulation {
                 }
             }
         }
-        for buffer in &mut self.buffers {
-            buffer.age();
+        {
+            let sink = &mut self.sink;
+            for (tile, buffer) in self.buffers.iter_mut().enumerate() {
+                buffer.age_with(|id| {
+                    sink.emit(SimEvent::TtlExpiry {
+                        round,
+                        tile: NodeId(tile),
+                        message: id,
+                    });
+                });
+            }
         }
         stats.live_messages = self.buffers.iter().map(|b| b.len() as u64).sum();
 
@@ -675,6 +806,7 @@ impl Simulation {
                 ref mut egress_next,
                 ref forward_overrides,
                 ref mut report,
+                ref mut sink,
                 ..
             } = *self;
             frame_memo.begin_round();
@@ -687,7 +819,11 @@ impl Simulation {
                 let p = forward_overrides[tile].unwrap_or(config.forward_probability);
                 // Synchronization: a slipped tile delivers one round late.
                 let skew = injector.round_skew();
-                let slipped = clocks[tile].advance(skew);
+                let slips = clocks[tile].advance(skew);
+                for _ in 0..slips {
+                    sink.emit(SimEvent::ClockSlip { round, tile: node });
+                }
+                let slipped = slips > 0;
                 let len = msgs.len();
                 let (start, count) = match egress_limits[tile] {
                     // Serve the buffer round-robin so a long-lived head
@@ -708,6 +844,11 @@ impl Simulation {
                 for k in 0..count {
                     let message = &msgs[(start + k) % len];
                     let frame = frame_memo.frame_for(codec, message);
+                    sink.emit(SimEvent::Forwarded {
+                        round,
+                        tile: node,
+                        message: message.id,
+                    });
                     for &link_id in topology.out_links(node) {
                         if p < 1.0 && !injector.rng().gen_bool_p(p) {
                             continue;
@@ -715,16 +856,28 @@ impl Simulation {
                         stats.transmissions += 1;
                         report.packets_sent += 1;
                         report.bits_sent += Bits((frame.len() * 8) as u64);
+                        let to = topology.link(link_id).to;
+                        sink.emit(SimEvent::FrameSent {
+                            round,
+                            from: node,
+                            link: link_id,
+                            to,
+                            message: message.id,
+                        });
                         let link_dead = !links_alive[link_id.index()]
                             || crash_schedule.link_dead(link_id.index(), round);
                         if link_dead {
                             report.crash_drops += 1;
+                            sink.emit(SimEvent::CrashDrop {
+                                round,
+                                site: DropSite::Link(link_id),
+                            });
                             continue;
                         }
-                        let to = topology.link(link_id).to;
                         let mut out = Frame {
                             bytes: Arc::clone(&frame),
                             scrambled: false,
+                            via: Some(link_id),
                         };
                         if injector.upset_occurs() {
                             injector.scramble_shared(&mut out.bytes);
@@ -769,11 +922,19 @@ impl Simulation {
         });
         let message = Message::new(id, source, destination, self.config.default_ttl, payload);
         if destination == source {
-            self.report.record_delivery(id, self.round);
+            if self.report.record_delivery(id, self.round) {
+                self.sink.emit(SimEvent::Delivery {
+                    round: self.round,
+                    tile: source,
+                    message: id,
+                    source,
+                });
+            }
             let frame: Arc<[u8]> = self.codec.encode(&message).into();
             self.inbox_next[source.index()].push(Frame {
                 bytes: frame,
                 scrambled: false,
+                via: None,
             });
             return;
         }
@@ -789,9 +950,12 @@ impl Simulation {
 /// probabilistic mode draws one Bernoulli sample per frame in arrival
 /// order, the structural mode keeps the newest `capacity` frames
 /// (drop-oldest).
-fn apply_overflow_in_place(
+fn apply_overflow_in_place<S: EventSink>(
     injector: &mut FaultInjector,
     report: &mut SimulationReport,
+    sink: &mut S,
+    round: u64,
+    tile: NodeId,
     frames: &mut Vec<Frame>,
 ) {
     match injector.model().overflow_mode {
@@ -801,13 +965,20 @@ fn apply_overflow_in_place(
             }
             let before = frames.len();
             frames.retain(|_| !injector.overflow_drop());
-            report.overflow_drops += (before - frames.len()) as u64;
+            let dropped = (before - frames.len()) as u64;
+            report.overflow_drops += dropped;
+            for _ in 0..dropped {
+                sink.emit(SimEvent::OverflowDrop { round, tile });
+            }
         }
         OverflowMode::Structural { capacity } => {
             if frames.len() > capacity {
                 let excess = frames.len() - capacity;
                 frames.drain(..excess);
                 report.overflow_drops += excess as u64;
+                for _ in 0..excess {
+                    sink.emit(SimEvent::OverflowDrop { round, tile });
+                }
             }
         }
     }

@@ -1,0 +1,763 @@
+//! Structured event tracing of the packet lifecycle.
+//!
+//! Every statistical claim the simulator makes — delivery probability,
+//! latency jitter, energy under DSM faults — is an aggregate over
+//! individual packet fates. This module makes those fates observable:
+//! the engine emits one [`SimEvent`] at every decision point in the hot
+//! path (transmission, CRC verdict, overflow, crash, duplicate
+//! suppression, TTL expiry, clock slip, delivery), attributed to the
+//! round, tile and (where meaningful) link at which it happened.
+//!
+//! Sinks implement [`EventSink`] and are installed at build time via
+//! [`crate::SimulationBuilder::build_with_sink`]. The engine is generic
+//! over the sink type, so the default [`NullSink`] monomorphizes every
+//! emission into nothing — a simulation built with
+//! [`crate::SimulationBuilder::build`] pays zero cost for the
+//! instrumentation (guarded by the `perf_baseline` harness and by the
+//! golden-report digests, which are byte-identical with any sink
+//! installed: sinks observe, they never influence).
+//!
+//! Provided sinks:
+//!
+//! * [`NullSink`] — discards everything (the default engine);
+//! * [`CounterSink`] — per-tile / per-link event histograms whose sums
+//!   reconcile *exactly* with [`crate::SimulationReport`]'s global
+//!   counters ([`CounterSink::reconcile`] is the standing oracle);
+//! * [`JsonlSink`] — one JSON object per event on any [`std::io::Write`],
+//!   for offline analysis;
+//! * `Vec<SimEvent>` — collects raw events, handy in tests.
+
+use std::io::Write;
+
+use noc_fabric::{LinkId, MessageId, NodeId};
+
+use crate::metrics::SimulationReport;
+
+/// Where a crash drop happened: at a dead receiving tile, or on a dead
+/// link in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DropSite {
+    /// The frame arrived at a tile that is dead (defective or crashed).
+    Tile(NodeId),
+    /// The frame was transmitted onto a dead link.
+    Link(LinkId),
+}
+
+/// One observable event in a packet's lifecycle.
+///
+/// Events carry the round they happened in and the tile/link they are
+/// attributed to. Message ids are included where the engine knows them —
+/// a frame rejected by the CRC never yields a trustworthy id, so
+/// [`SimEvent::CrcReject`] carries only its location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// A frame was transmitted onto a link (counted whether or not the
+    /// link turns out to be dead — the sender spent the energy).
+    FrameSent {
+        /// Round of transmission.
+        round: u64,
+        /// Transmitting tile.
+        from: NodeId,
+        /// Link the frame was placed on.
+        link: LinkId,
+        /// Receiving end of the link.
+        to: NodeId,
+        /// The message carried by the frame.
+        message: MessageId,
+    },
+    /// A buffered message was serviced by a tile's egress scheduler this
+    /// round (offered to every output link, each with probability `p`).
+    Forwarded {
+        /// Round of service.
+        round: u64,
+        /// Forwarding tile.
+        tile: NodeId,
+        /// The serviced message.
+        message: MessageId,
+    },
+    /// A scrambled frame was discarded by the receive-side CRC check.
+    CrcReject {
+        /// Round of rejection.
+        round: u64,
+        /// Receiving tile.
+        tile: NodeId,
+        /// Link the frame arrived on (`None` for local loopback).
+        link: Option<LinkId>,
+    },
+    /// A scrambled frame *passed* the CRC check and entered the buffer —
+    /// the residual undetected-error case.
+    UndetectedUpset {
+        /// Round of acceptance.
+        round: u64,
+        /// Receiving tile.
+        tile: NodeId,
+        /// The (possibly corrupted) message id that was accepted.
+        message: MessageId,
+    },
+    /// A frame was dropped by receive-buffer overflow.
+    OverflowDrop {
+        /// Round of the drop.
+        round: u64,
+        /// Overflowing tile.
+        tile: NodeId,
+    },
+    /// A frame was swallowed by a dead tile or dead link.
+    CrashDrop {
+        /// Round of the drop.
+        round: u64,
+        /// Where the frame died.
+        site: DropSite,
+    },
+    /// An arriving frame was suppressed as redundant: its message is
+    /// already in the tile's seen-set, or its spread has terminated.
+    DuplicateDrop {
+        /// Round of suppression.
+        round: u64,
+        /// Receiving tile.
+        tile: NodeId,
+        /// The redundant message.
+        message: MessageId,
+    },
+    /// A buffered message was garbage-collected by TTL expiry.
+    TtlExpiry {
+        /// Round of collection.
+        round: u64,
+        /// Tile whose buffer expired the message.
+        tile: NodeId,
+        /// The expired message.
+        message: MessageId,
+    },
+    /// A tile's accumulated synchronization skew crossed a round
+    /// boundary; one event per whole-round slip.
+    ClockSlip {
+        /// Round of the slip.
+        round: u64,
+        /// Slipping tile.
+        tile: NodeId,
+    },
+    /// First delivery of a message to its destination IP.
+    Delivery {
+        /// Round of delivery.
+        round: u64,
+        /// Destination tile.
+        tile: NodeId,
+        /// The delivered message.
+        message: MessageId,
+        /// Originating tile.
+        source: NodeId,
+    },
+}
+
+impl SimEvent {
+    /// The round the event happened in.
+    pub fn round(&self) -> u64 {
+        match *self {
+            SimEvent::FrameSent { round, .. }
+            | SimEvent::Forwarded { round, .. }
+            | SimEvent::CrcReject { round, .. }
+            | SimEvent::UndetectedUpset { round, .. }
+            | SimEvent::OverflowDrop { round, .. }
+            | SimEvent::CrashDrop { round, .. }
+            | SimEvent::DuplicateDrop { round, .. }
+            | SimEvent::TtlExpiry { round, .. }
+            | SimEvent::ClockSlip { round, .. }
+            | SimEvent::Delivery { round, .. } => round,
+        }
+    }
+
+    /// A stable lowercase tag naming the event kind (the `"event"` field
+    /// of the JSONL encoding).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SimEvent::FrameSent { .. } => "frame_sent",
+            SimEvent::Forwarded { .. } => "forwarded",
+            SimEvent::CrcReject { .. } => "crc_reject",
+            SimEvent::UndetectedUpset { .. } => "undetected_upset",
+            SimEvent::OverflowDrop { .. } => "overflow_drop",
+            SimEvent::CrashDrop { .. } => "crash_drop",
+            SimEvent::DuplicateDrop { .. } => "duplicate_drop",
+            SimEvent::TtlExpiry { .. } => "ttl_expiry",
+            SimEvent::ClockSlip { .. } => "clock_slip",
+            SimEvent::Delivery { .. } => "delivery",
+        }
+    }
+}
+
+/// An observer of simulation events.
+///
+/// Contract: sinks are *passive*. A sink must not (and cannot, through
+/// this interface) influence the simulation — the engine's RNG streams,
+/// state transitions and report are identical whatever sink is
+/// installed, which the golden-report digest tests enforce. `emit` is
+/// called on the hot path; implementations should be cheap or buffer.
+pub trait EventSink {
+    /// Observes one event.
+    fn emit(&mut self, event: SimEvent);
+}
+
+/// The default sink: discards every event.
+///
+/// Because the engine is monomorphized per sink type, a simulation built
+/// with `NullSink` compiles every emission point down to nothing — the
+/// zero-overhead-when-disabled guarantee (asserted at ≤ 2% by the
+/// `perf_baseline` harness, which measures the default build against an
+/// explicit `build_with_sink(NullSink)` build).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _event: SimEvent) {}
+}
+
+/// Forwarding impl so a borrowed sink can be installed while the caller
+/// keeps ownership (e.g. inspect a [`CounterSink`] after the run without
+/// consuming the simulation).
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        (**self).emit(event);
+    }
+}
+
+/// Collects every event in order — convenient in tests.
+impl EventSink for Vec<SimEvent> {
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        self.push(event);
+    }
+}
+
+/// Per-location event tallies accumulated by [`CounterSink`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct EventCounts {
+    /// Frames transmitted (sender-attributed for tiles, carrier for links).
+    pub frames_sent: u64,
+    /// Messages serviced by the egress scheduler.
+    pub forwards: u64,
+    /// Frames discarded by the CRC check.
+    pub crc_rejects: u64,
+    /// Scrambled frames accepted past the CRC.
+    pub undetected_upsets: u64,
+    /// Frames dropped by receive-buffer overflow.
+    pub overflow_drops: u64,
+    /// Frames swallowed by dead tiles/links.
+    pub crash_drops: u64,
+    /// Redundant arrivals suppressed.
+    pub duplicate_drops: u64,
+    /// Messages garbage-collected by TTL expiry.
+    pub ttl_expirations: u64,
+    /// Round-boundary slips.
+    pub clock_slips: u64,
+    /// First deliveries to destination IPs.
+    pub deliveries: u64,
+}
+
+impl EventCounts {
+    /// Adds `other` into `self`, field by field.
+    pub fn merge(&mut self, other: &EventCounts) {
+        self.frames_sent += other.frames_sent;
+        self.forwards += other.forwards;
+        self.crc_rejects += other.crc_rejects;
+        self.undetected_upsets += other.undetected_upsets;
+        self.overflow_drops += other.overflow_drops;
+        self.crash_drops += other.crash_drops;
+        self.duplicate_drops += other.duplicate_drops;
+        self.ttl_expirations += other.ttl_expirations;
+        self.clock_slips += other.clock_slips;
+        self.deliveries += other.deliveries;
+    }
+}
+
+/// Accumulates per-tile and per-link event histograms.
+///
+/// The per-tile sums reconcile exactly with the global counters of the
+/// [`SimulationReport`] produced by the same run — that identity is the
+/// repo's standing reconciliation oracle, checked by
+/// [`CounterSink::reconcile`]. Crash drops split across the two
+/// attribution axes: dead-*tile* arrivals are tile-attributed, dead-*link*
+/// transmissions are link-attributed, and the two sum to the report's
+/// `crash_drops`.
+///
+/// # Examples
+///
+/// ```
+/// use noc_fabric::{Grid2d, NodeId};
+/// use stochastic_noc::events::CounterSink;
+/// use stochastic_noc::{SimulationBuilder, StochasticConfig};
+///
+/// let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
+///     .config(StochasticConfig::flooding(8).with_max_rounds(20))
+///     .seed(1)
+///     .build_with_sink(CounterSink::new());
+/// sim.inject(NodeId(0), NodeId(15), vec![1]);
+/// let (report, counters) = sim.run_to_report_and_sink();
+/// counters.reconcile(&report).expect("events reconcile with totals");
+/// assert_eq!(counters.totals().frames_sent, report.packets_sent);
+/// ```
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct CounterSink {
+    tiles: Vec<EventCounts>,
+    links: Vec<EventCounts>,
+    totals: EventCounts,
+}
+
+impl CounterSink {
+    /// An empty counter sink; per-location tables grow on demand.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn tile(&mut self, node: NodeId) -> &mut EventCounts {
+        let index = node.index();
+        if index >= self.tiles.len() {
+            self.tiles.resize(index + 1, EventCounts::default());
+        }
+        &mut self.tiles[index]
+    }
+
+    fn link(&mut self, link: LinkId) -> &mut EventCounts {
+        let index = link.index();
+        if index >= self.links.len() {
+            self.links.resize(index + 1, EventCounts::default());
+        }
+        &mut self.links[index]
+    }
+
+    /// Global tallies (every event counted exactly once).
+    pub fn totals(&self) -> &EventCounts {
+        &self.totals
+    }
+
+    /// Per-tile tallies, indexed by tile; tiles past the last event are
+    /// absent.
+    pub fn tiles(&self) -> &[EventCounts] {
+        &self.tiles
+    }
+
+    /// Per-link tallies, indexed by link id.
+    pub fn links(&self) -> &[EventCounts] {
+        &self.links
+    }
+
+    /// Recomputes the global tallies from the per-tile and per-link
+    /// tables (crash drops are the one counter split across both axes).
+    /// Equal to [`CounterSink::totals`] by construction; [`reconcile`]
+    /// asserts it, catching any future attribution bug.
+    ///
+    /// [`reconcile`]: CounterSink::reconcile
+    pub fn summed_from_locations(&self) -> EventCounts {
+        let mut sum = EventCounts::default();
+        for t in &self.tiles {
+            sum.merge(t);
+        }
+        // Tile-axis frames_sent already covers every transmission; the
+        // link table is a second view of the same events, so only the
+        // link-attributed crash drops (absent from the tile axis) fold in.
+        for l in &self.links {
+            sum.crash_drops += l.crash_drops;
+        }
+        sum
+    }
+
+    /// Adds every tally of `other` into `self` — the deterministic
+    /// per-trial merge used by Monte-Carlo sweeps (fold trials in
+    /// index order and the result is independent of the worker count).
+    pub fn merge(&mut self, other: &CounterSink) {
+        if self.tiles.len() < other.tiles.len() {
+            self.tiles.resize(other.tiles.len(), EventCounts::default());
+        }
+        if self.links.len() < other.links.len() {
+            self.links.resize(other.links.len(), EventCounts::default());
+        }
+        for (mine, theirs) in self.tiles.iter_mut().zip(&other.tiles) {
+            mine.merge(theirs);
+        }
+        for (mine, theirs) in self.links.iter_mut().zip(&other.links) {
+            mine.merge(theirs);
+        }
+        self.totals.merge(&other.totals);
+    }
+
+    /// Checks the reconciliation identity: the per-location sums must
+    /// equal both the running totals and every global counter of
+    /// `report`. Returns a description of the first mismatch.
+    pub fn reconcile(&self, report: &SimulationReport) -> Result<(), String> {
+        let summed = self.summed_from_locations();
+        if summed != self.totals {
+            return Err(format!(
+                "internal attribution drift: per-location sums {summed:?} != running totals {:?}",
+                self.totals
+            ));
+        }
+        let checks: [(&str, u64, u64); 7] = [
+            ("packets_sent", summed.frames_sent, report.packets_sent),
+            (
+                "upsets_detected",
+                summed.crc_rejects,
+                report.upsets_detected,
+            ),
+            (
+                "upsets_undetected",
+                summed.undetected_upsets,
+                report.upsets_undetected,
+            ),
+            (
+                "overflow_drops",
+                summed.overflow_drops,
+                report.overflow_drops,
+            ),
+            ("crash_drops", summed.crash_drops, report.crash_drops),
+            ("clock_slips", summed.clock_slips, report.clock_slips),
+            (
+                "ttl_expirations",
+                summed.ttl_expirations,
+                report.ttl_expirations,
+            ),
+        ];
+        for (name, events, global) in checks {
+            if events != global {
+                return Err(format!(
+                    "counter `{name}`: attributed events sum to {events}, report says {global}"
+                ));
+            }
+        }
+        let delivered = report.messages_delivered() as u64;
+        if summed.deliveries != delivered {
+            return Err(format!(
+                "counter `deliveries`: attributed events sum to {}, report delivered {delivered}",
+                summed.deliveries
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl EventSink for CounterSink {
+    fn emit(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::FrameSent { from, link, .. } => {
+                self.tile(from).frames_sent += 1;
+                self.link(link).frames_sent += 1;
+                self.totals.frames_sent += 1;
+            }
+            SimEvent::Forwarded { tile, .. } => {
+                self.tile(tile).forwards += 1;
+                self.totals.forwards += 1;
+            }
+            SimEvent::CrcReject { tile, link, .. } => {
+                self.tile(tile).crc_rejects += 1;
+                if let Some(link) = link {
+                    self.link(link).crc_rejects += 1;
+                }
+                self.totals.crc_rejects += 1;
+            }
+            SimEvent::UndetectedUpset { tile, .. } => {
+                self.tile(tile).undetected_upsets += 1;
+                self.totals.undetected_upsets += 1;
+            }
+            SimEvent::OverflowDrop { tile, .. } => {
+                self.tile(tile).overflow_drops += 1;
+                self.totals.overflow_drops += 1;
+            }
+            SimEvent::CrashDrop { site, .. } => {
+                match site {
+                    DropSite::Tile(tile) => self.tile(tile).crash_drops += 1,
+                    DropSite::Link(link) => self.link(link).crash_drops += 1,
+                }
+                self.totals.crash_drops += 1;
+            }
+            SimEvent::DuplicateDrop { tile, .. } => {
+                self.tile(tile).duplicate_drops += 1;
+                self.totals.duplicate_drops += 1;
+            }
+            SimEvent::TtlExpiry { tile, .. } => {
+                self.tile(tile).ttl_expirations += 1;
+                self.totals.ttl_expirations += 1;
+            }
+            SimEvent::ClockSlip { tile, .. } => {
+                self.tile(tile).clock_slips += 1;
+                self.totals.clock_slips += 1;
+            }
+            SimEvent::Delivery { tile, .. } => {
+                self.tile(tile).deliveries += 1;
+                self.totals.deliveries += 1;
+            }
+        }
+    }
+}
+
+/// Streams events as JSON Lines to any writer, for offline analysis.
+///
+/// One object per line, e.g.:
+///
+/// ```text
+/// {"event":"frame_sent","round":3,"from":5,"link":12,"to":6,"message":0}
+/// {"event":"crc_reject","round":4,"tile":6,"link":17}
+/// ```
+///
+/// The encoding is hand-rolled (the workspace vendors a no-op `serde`
+/// shim) but stable: field order is fixed per event kind, and every
+/// value is an integer or the kind tag. Rounds are non-decreasing within
+/// one simulation, so a JSONL file sorts naturally by emission order.
+///
+/// # Panics
+///
+/// [`EventSink::emit`] panics if the underlying writer fails — the sink
+/// is a diagnostic tool and silently losing trace lines would defeat it.
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer. Consider a [`std::io::BufWriter`] for files: the
+    /// sink writes one line per event on the hot path.
+    pub fn new(out: W) -> Self {
+        Self { out, written: 0 }
+    }
+
+    /// Number of event lines written so far.
+    pub fn events_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the final flush fails.
+    pub fn into_inner(mut self) -> W {
+        self.out.flush().expect("flush JSONL event sink");
+        self.out
+    }
+}
+
+impl<W: Write> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: SimEvent) {
+        let result = match event {
+            SimEvent::FrameSent {
+                round,
+                from,
+                link,
+                to,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"frame_sent\",\"round\":{round},\"from\":{},\"link\":{},\"to\":{},\"message\":{}}}",
+                from.index(),
+                link.index(),
+                to.index(),
+                message.0,
+            ),
+            SimEvent::Forwarded {
+                round,
+                tile,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"forwarded\",\"round\":{round},\"tile\":{},\"message\":{}}}",
+                tile.index(),
+                message.0,
+            ),
+            SimEvent::CrcReject { round, tile, link } => match link {
+                Some(link) => writeln!(
+                    self.out,
+                    "{{\"event\":\"crc_reject\",\"round\":{round},\"tile\":{},\"link\":{}}}",
+                    tile.index(),
+                    link.index(),
+                ),
+                None => writeln!(
+                    self.out,
+                    "{{\"event\":\"crc_reject\",\"round\":{round},\"tile\":{}}}",
+                    tile.index(),
+                ),
+            },
+            SimEvent::UndetectedUpset {
+                round,
+                tile,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"undetected_upset\",\"round\":{round},\"tile\":{},\"message\":{}}}",
+                tile.index(),
+                message.0,
+            ),
+            SimEvent::OverflowDrop { round, tile } => writeln!(
+                self.out,
+                "{{\"event\":\"overflow_drop\",\"round\":{round},\"tile\":{}}}",
+                tile.index(),
+            ),
+            SimEvent::CrashDrop { round, site } => match site {
+                DropSite::Tile(tile) => writeln!(
+                    self.out,
+                    "{{\"event\":\"crash_drop\",\"round\":{round},\"tile\":{}}}",
+                    tile.index(),
+                ),
+                DropSite::Link(link) => writeln!(
+                    self.out,
+                    "{{\"event\":\"crash_drop\",\"round\":{round},\"link\":{}}}",
+                    link.index(),
+                ),
+            },
+            SimEvent::DuplicateDrop {
+                round,
+                tile,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"duplicate_drop\",\"round\":{round},\"tile\":{},\"message\":{}}}",
+                tile.index(),
+                message.0,
+            ),
+            SimEvent::TtlExpiry {
+                round,
+                tile,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"ttl_expiry\",\"round\":{round},\"tile\":{},\"message\":{}}}",
+                tile.index(),
+                message.0,
+            ),
+            SimEvent::ClockSlip { round, tile } => writeln!(
+                self.out,
+                "{{\"event\":\"clock_slip\",\"round\":{round},\"tile\":{}}}",
+                tile.index(),
+            ),
+            SimEvent::Delivery {
+                round,
+                tile,
+                message,
+                source,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"delivery\",\"round\":{round},\"tile\":{},\"message\":{},\"source\":{}}}",
+                tile.index(),
+                message.0,
+                source.index(),
+            ),
+        };
+        result.expect("write JSONL event line");
+        self.written += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame_sent(round: u64) -> SimEvent {
+        SimEvent::FrameSent {
+            round,
+            from: NodeId(1),
+            link: LinkId(4),
+            to: NodeId(2),
+            message: MessageId(9),
+        }
+    }
+
+    #[test]
+    fn counter_sink_attributes_per_tile_and_link() {
+        let mut sink = CounterSink::new();
+        sink.emit(frame_sent(0));
+        sink.emit(frame_sent(0));
+        sink.emit(SimEvent::CrashDrop {
+            round: 1,
+            site: DropSite::Link(LinkId(4)),
+        });
+        sink.emit(SimEvent::CrashDrop {
+            round: 1,
+            site: DropSite::Tile(NodeId(2)),
+        });
+        sink.emit(SimEvent::ClockSlip {
+            round: 1,
+            tile: NodeId(1),
+        });
+        assert_eq!(sink.tiles()[1].frames_sent, 2);
+        assert_eq!(sink.links()[4].frames_sent, 2);
+        assert_eq!(sink.links()[4].crash_drops, 1);
+        assert_eq!(sink.tiles()[2].crash_drops, 1);
+        assert_eq!(sink.totals().crash_drops, 2);
+        assert_eq!(sink.summed_from_locations(), *sink.totals());
+    }
+
+    #[test]
+    fn merge_is_elementwise_and_grows_tables() {
+        let mut a = CounterSink::new();
+        a.emit(frame_sent(0));
+        let mut b = CounterSink::new();
+        b.emit(SimEvent::OverflowDrop {
+            round: 2,
+            tile: NodeId(7),
+        });
+        b.emit(frame_sent(1));
+        a.merge(&b);
+        assert_eq!(a.totals().frames_sent, 2);
+        assert_eq!(a.tiles()[7].overflow_drops, 1);
+        assert_eq!(a.tiles()[1].frames_sent, 2);
+        assert_eq!(a.summed_from_locations(), *a.totals());
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut sink: Vec<SimEvent> = Vec::new();
+        sink.emit(frame_sent(0));
+        sink.emit(frame_sent(3));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink[1].round(), 3);
+        assert_eq!(sink[0].kind(), "frame_sent");
+    }
+
+    #[test]
+    fn borrowed_sink_forwards() {
+        let mut counters = CounterSink::new();
+        {
+            let borrowed: &mut CounterSink = &mut counters;
+            borrowed.emit(frame_sent(0));
+        }
+        assert_eq!(counters.totals().frames_sent, 1);
+    }
+
+    #[test]
+    fn jsonl_lines_are_stable() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(frame_sent(3));
+        sink.emit(SimEvent::CrcReject {
+            round: 4,
+            tile: NodeId(6),
+            link: None,
+        });
+        sink.emit(SimEvent::Delivery {
+            round: 5,
+            tile: NodeId(2),
+            message: MessageId(0),
+            source: NodeId(1),
+        });
+        assert_eq!(sink.events_written(), 3);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"frame_sent\",\"round\":3,\"from\":1,\"link\":4,\"to\":2,\"message\":9}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"crc_reject\",\"round\":4,\"tile\":6}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"delivery\",\"round\":5,\"tile\":2,\"message\":0,\"source\":1}"
+        );
+    }
+
+    #[test]
+    fn reconcile_reports_the_failing_counter() {
+        let mut sink = CounterSink::new();
+        sink.emit(frame_sent(0));
+        let report = SimulationReport::new(noc_energy::TechnologyLibrary::NOC_LINK_0_25UM);
+        let err = sink.reconcile(&report).unwrap_err();
+        assert!(err.contains("packets_sent"), "unexpected error: {err}");
+    }
+}

@@ -50,6 +50,7 @@
 
 mod config;
 mod engine;
+pub mod events;
 mod metrics;
 pub mod reference;
 pub mod seed;
@@ -60,6 +61,7 @@ pub mod tuning;
 
 pub use config::{InvalidConfig, StochasticConfig};
 pub use engine::{RoundStats, Simulation, SimulationBuilder};
+pub use events::{CounterSink, DropSite, EventSink, JsonlSink, NullSink, SimEvent};
 pub use metrics::{MessageRecord, SimulationReport};
-pub use send_buffer::SendBuffer;
+pub use send_buffer::{InsertOutcome, SendBuffer};
 pub use trace::{RoundSnapshot, SpreadTrace};

@@ -101,13 +101,18 @@ impl SimulationReport {
     }
 
     /// Marks first delivery of a message (engine-side). Later calls for
-    /// the same id are ignored.
-    pub fn record_delivery(&mut self, id: MessageId, round: u64) {
+    /// the same id are ignored. Returns `true` exactly when this call
+    /// marked the delivery — the engine emits one `Delivery` event per
+    /// `true`, so event counts reconcile with
+    /// [`SimulationReport::messages_delivered`].
+    pub fn record_delivery(&mut self, id: MessageId, round: u64) -> bool {
         if let Some(r) = self.records.get_mut(&id) {
             if r.delivered_round.is_none() {
                 r.delivered_round = Some(round);
+                return true;
             }
         }
+        false
     }
 
     /// Number of messages injected into the network.

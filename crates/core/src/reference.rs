@@ -251,7 +251,7 @@ impl ReferenceSimulation {
                 continue;
             }
             let skew = self.injector.round_skew();
-            let slipped = self.clocks[tile].advance(skew);
+            let slipped = self.clocks[tile].advance(skew) > 0;
             let out_links: Vec<_> = self.topology.out_links(node).to_vec();
             let messages: Vec<Message> = self.buffers[tile].iter().cloned().collect();
             for message in &messages {

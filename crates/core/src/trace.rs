@@ -5,6 +5,7 @@
 use noc_fabric::{Grid2d, MessageId, NodeId};
 
 use crate::engine::{RoundStats, Simulation};
+use crate::events::EventSink;
 
 /// Snapshot of the network at the end of one round, relative to one
 /// tracked message.
@@ -50,10 +51,15 @@ pub struct SpreadTrace {
 
 impl SpreadTrace {
     /// Steps `sim` for up to `max_rounds` rounds (or until completion),
-    /// snapshotting the state of `message` after each round. The first
-    /// snapshot (round marker `u64::MAX` is never used — snapshot 0 is
-    /// the pre-run state at the current round).
-    pub fn record(sim: &mut Simulation, message: MessageId, max_rounds: u64) -> Self {
+    /// snapshotting the state of `message` after each round. Snapshot 0
+    /// is the pre-run state, taken at the simulation's current round
+    /// before any stepping; each later snapshot corresponds to one
+    /// executed round.
+    pub fn record<S: EventSink>(
+        sim: &mut Simulation<S>,
+        message: MessageId,
+        max_rounds: u64,
+    ) -> Self {
         let mut snapshots = vec![Self::snapshot(sim, message, sim.round(), 0)];
         let start = sim.round();
         while !sim.is_complete() && sim.round() < start + max_rounds {
@@ -68,8 +74,8 @@ impl SpreadTrace {
         Self { message, snapshots }
     }
 
-    fn snapshot(
-        sim: &Simulation,
+    fn snapshot<S: EventSink>(
+        sim: &Simulation<S>,
         message: MessageId,
         round: u64,
         transmissions: u64,

@@ -11,6 +11,7 @@ use noc_fabric::{NodeId, Topology};
 
 use crate::config::StochasticConfig;
 use crate::engine::SimulationBuilder;
+use crate::seed::derive_trial_seed;
 
 /// Estimated behaviour of one `(p, ttl)` point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,7 +65,10 @@ pub fn evaluate(
     for trial in 0..trials {
         let mut sim = SimulationBuilder::new(topology.clone())
             .config(config)
-            .seed(seed.wrapping_mul(1_000_003).wrapping_add(trial as u64))
+            // SplitMix64 derivation: adjacent trial indices must produce
+            // statistically independent RNG streams, which a consecutive
+            // affine sequence of StdRng seeds does not guarantee.
+            .seed(derive_trial_seed(seed, trial as u64))
             .build();
         let id = sim.inject(source, destination, vec![0u8; 8]);
         let report = sim.run();
@@ -230,6 +234,31 @@ mod tests {
         // ttl 2 cannot cross 6 hops no matter what p is.
         let choice = recommend(&grid, 0.5, &[1.0], &[2], 5, 5);
         assert!(choice.is_none());
+    }
+
+    #[test]
+    fn adjacent_trial_rng_streams_are_uncorrelated() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        use std::collections::HashSet;
+
+        // The old affine derivation (`seed * 1_000_003 + trial`) handed
+        // consecutive integers to `seed_from_u64`, correlating adjacent
+        // trials. The SplitMix64 route must give every trial in a window
+        // a distinct seed *and* a distinct first draw, for several bases.
+        for base in [0u64, 7, 42, u64::MAX - 3] {
+            let mut seeds = HashSet::new();
+            let mut first_draws = HashSet::new();
+            for trial in 0..256u64 {
+                let s = derive_trial_seed(base, trial);
+                assert!(seeds.insert(s), "seed collision at trial {trial}");
+                let draw: u64 = StdRng::seed_from_u64(s).gen();
+                assert!(
+                    first_draws.insert(draw),
+                    "correlated first draw at base {base} trial {trial}"
+                );
+            }
+        }
     }
 
     #[test]

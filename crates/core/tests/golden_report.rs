@@ -10,6 +10,7 @@
 
 use noc_fabric::{NodeId, Topology};
 use noc_faults::{CrashSchedule, ErrorModel, FaultModel, OverflowMode};
+use stochastic_noc::events::{CounterSink, JsonlSink};
 use stochastic_noc::{Simulation, SimulationBuilder, SimulationReport, StochasticConfig};
 
 /// Serializes every observable field of a report into a stable string.
@@ -64,8 +65,9 @@ fn golden_grid4_flooding_fault_free() {
     check("grid4_flooding_fault_free", &mut sim, GOLDEN_GRID4_FLOODING);
 }
 
-#[test]
-fn golden_grid8_gossip_under_faults() {
+/// The richest golden workload (upsets, overflow, slips, expirations),
+/// reused by the sink-invariance tests below.
+fn grid8_gossip_builder() -> SimulationBuilder {
     let model = FaultModel::builder()
         .p_upset(0.2)
         .p_overflow(0.1)
@@ -73,16 +75,55 @@ fn golden_grid8_gossip_under_faults() {
         .error_model(ErrorModel::RandomErrorVector)
         .build()
         .unwrap();
-    let mut sim = SimulationBuilder::new(Topology::grid(8, 8))
+    SimulationBuilder::new(Topology::grid(8, 8))
         .forward_probability(0.5)
         .ttl(20)
         .max_rounds(100)
         .fault_model(model)
         .seed(42)
-        .build();
+}
+
+#[test]
+fn golden_grid8_gossip_under_faults() {
+    let mut sim = grid8_gossip_builder().build();
     sim.inject(NodeId(0), NodeId(63), b"corner to corner".to_vec());
     sim.inject(NodeId(9), NodeId(54), b"x".to_vec());
     check("grid8_gossip_under_faults", &mut sim, GOLDEN_GRID8_GOSSIP);
+}
+
+/// Sinks observe, they never influence: installing any sink must leave
+/// the report digest byte-identical to the default (NullSink) build.
+#[test]
+fn golden_digest_is_identical_with_jsonl_sink_installed() {
+    let mut sim = grid8_gossip_builder().build_with_sink(JsonlSink::new(Vec::new()));
+    sim.inject(NodeId(0), NodeId(63), b"corner to corner".to_vec());
+    sim.inject(NodeId(9), NodeId(54), b"x".to_vec());
+    let report = sim.run();
+    assert_eq!(digest(&report).trim(), GOLDEN_GRID8_GOSSIP.trim());
+    let sink = sim.into_sink();
+    assert!(sink.events_written() > 0, "a faulty run emits events");
+    let text = String::from_utf8(sink.into_inner()).unwrap();
+    assert_eq!(text.lines().count() as u64, digest_event_count(&text));
+}
+
+/// Every JSONL line is one object; returns the line count as a sanity
+/// proxy (full JSON validation lives in the CI bench-smoke job).
+fn digest_event_count(text: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with("{\"event\":\"") && l.ends_with('}'))
+        .count() as u64
+}
+
+#[test]
+fn golden_digest_is_identical_with_counter_sink_installed() {
+    let mut sim = grid8_gossip_builder().build_with_sink(CounterSink::new());
+    sim.inject(NodeId(0), NodeId(63), b"corner to corner".to_vec());
+    sim.inject(NodeId(9), NodeId(54), b"x".to_vec());
+    let report = sim.run();
+    assert_eq!(digest(&report).trim(), GOLDEN_GRID8_GOSSIP.trim());
+    sim.into_sink()
+        .reconcile(&report)
+        .expect("golden workload reconciles");
 }
 
 #[test]

@@ -1,9 +1,16 @@
 //! **Figure 3-3** — the producer–consumer example on a 4×4 grid: round
 //! by round, which tiles have become aware of the message and when the
 //! consumer receives it.
+//!
+//! When the CLI installs a trace path (`--trace-events PATH`), trial 0
+//! of this figure streams its full event log there as JSON Lines.
+
+use std::fs::File;
+use std::io::BufWriter;
 
 use noc_fabric::{Grid2d, NodeId};
-use stochastic_noc::{SimulationBuilder, StochasticConfig};
+use stochastic_noc::events::{EventSink, JsonlSink};
+use stochastic_noc::{Simulation, SimulationBuilder, StochasticConfig};
 
 use crate::{Scale, TrialRunner};
 
@@ -18,29 +25,50 @@ pub struct ProducerConsumerTrace {
     pub packets_sent: u64,
 }
 
+fn builder(seed: u64) -> SimulationBuilder {
+    SimulationBuilder::new(Grid2d::new(4, 4))
+        .config(
+            StochasticConfig::new(0.5, 12)
+                .expect("valid")
+                .with_max_rounds(40),
+        )
+        .seed(seed)
+}
+
+/// Drives one trial to completion; generic over the installed sink so
+/// the traced trial and the plain trials execute the identical schedule.
+fn run_one<S: EventSink>(mut sim: Simulation<S>) -> (ProducerConsumerTrace, S) {
+    let id = sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
+    let mut informed = vec![sim.informed_count(id)];
+    while !sim.is_complete() && sim.round() < 40 {
+        sim.step();
+        informed.push(sim.informed_count(id));
+    }
+    let report = sim.run(); // already done: only finalizes the report
+    let trace = ProducerConsumerTrace {
+        informed_per_round: informed,
+        delivery_round: report.latency(id),
+        packets_sent: report.packets_sent,
+    };
+    (trace, sim.into_sink())
+}
+
 /// Runs the producer (tile 6, 0-based 5) → consumer (tile 12, 0-based
 /// 11) example at `p = 0.5` on a 4×4 grid.
 pub fn run(scale: Scale) -> Vec<ProducerConsumerTrace> {
-    TrialRunner::for_figure("fig3-3", scale.repetitions()).run(|seed| {
-        let mut sim = SimulationBuilder::new(Grid2d::new(4, 4))
-            .config(
-                StochasticConfig::new(0.5, 12)
-                    .expect("valid")
-                    .with_max_rounds(40),
-            )
-            .seed(seed)
-            .build();
-        let id = sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
-        let mut informed = vec![sim.informed_count(id)];
-        while !sim.is_complete() && sim.round() < 40 {
-            sim.step();
-            informed.push(sim.informed_count(id));
-        }
-        let report = sim.into_report();
-        ProducerConsumerTrace {
-            informed_per_round: informed,
-            delivery_round: report.latency(id),
-            packets_sent: report.packets_sent,
+    let trace_to = crate::runner::trace_path();
+    TrialRunner::for_figure("fig3-3", scale.repetitions()).run_indexed(|index, seed| {
+        if let (Some(path), 0) = (&trace_to, index) {
+            let file = File::create(path)
+                .unwrap_or_else(|e| panic!("--trace-events: cannot create {path}: {e}"));
+            let sim = builder(seed).build_with_sink(JsonlSink::new(BufWriter::new(file)));
+            let (trace, sink) = run_one(sim);
+            let events = sink.events_written();
+            let _ = sink.into_inner(); // flushes
+            eprintln!("[trace] fig3-3 trial 0: {events} events -> {path}");
+            trace
+        } else {
+            run_one(builder(seed).build()).0
         }
     })
 }
@@ -85,5 +113,43 @@ mod tests {
             assert!(t.informed_per_round.windows(2).all(|w| w[1] >= w[0]));
             assert_eq!(t.informed_per_round[0], 1, "only the producer at start");
         }
+    }
+
+    #[test]
+    fn traced_trial_matches_untraced_output() {
+        // The JSONL sink observes; it must not perturb the figure data.
+        let dir = std::env::temp_dir().join("fig3_3_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        crate::runner::set_trace_path(Some(path.to_string_lossy().into_owned()));
+        let traced = run(Scale::Quick);
+        crate::runner::set_trace_path(None);
+        let plain = run(Scale::Quick);
+
+        assert_eq!(traced.len(), plain.len());
+        for (a, b) in traced.iter().zip(&plain) {
+            assert_eq!(a.informed_per_round, b.informed_per_round);
+            assert_eq!(a.delivery_round, b.delivery_round);
+            assert_eq!(a.packets_sent, b.packets_sent);
+        }
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "trace file has events");
+        let rounds: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                assert!(l.starts_with("{\"event\":\"") && l.ends_with('}'), "{l}");
+                let key = "\"round\":";
+                let at = l.find(key).expect("every event carries a round") + key.len();
+                l[at..]
+                    .chars()
+                    .take_while(char::is_ascii_digit)
+                    .collect::<String>()
+                    .parse()
+                    .unwrap()
+            })
+            .collect();
+        assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "round-monotone");
+        std::fs::remove_file(&path).ok();
     }
 }

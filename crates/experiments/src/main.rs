@@ -1,13 +1,15 @@
 //! CLI entry point: regenerate any figure of the paper.
 //!
 //! ```text
-//! experiments <figure> [--full] [--threads N] [--seed N]
-//! experiments all [--full] [--threads N] [--seed N]
+//! experiments <figure> [--full] [--threads N] [--seed N] [--trace-events PATH]
+//! experiments all [--full] [--threads N] [--seed N] [--trace-events PATH]
 //! ```
 //!
 //! `--threads N` pins the Monte-Carlo worker count (default:
 //! auto-detect); output tables are bit-identical for every `N`.
 //! `--seed N` re-roots every figure's trial-seed derivation (default 0).
+//! `--trace-events PATH` streams a JSONL event log of one representative
+//! trial to PATH (currently supported by `fig3-3`).
 
 use noc_experiments::{
     ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
@@ -76,15 +78,20 @@ fn print_runner_summary(name: &str) {
 }
 
 fn parse_flag(args: &[String], flag: &str) -> Option<u64> {
+    let value = parse_string_flag(args, flag)?;
+    Some(value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} requires an unsigned integer, got '{value}'");
+        std::process::exit(2);
+    }))
+}
+
+fn parse_string_flag(args: &[String], flag: &str) -> Option<String> {
     let position = args.iter().position(|a| a == flag)?;
     let value = args.get(position + 1).unwrap_or_else(|| {
         eprintln!("{flag} requires a value");
         std::process::exit(2);
     });
-    Some(value.parse().unwrap_or_else(|_| {
-        eprintln!("{flag} requires an unsigned integer, got '{value}'");
-        std::process::exit(2);
-    }))
+    Some(value.clone())
 }
 
 fn main() {
@@ -100,6 +107,7 @@ fn main() {
     if let Some(seed) = parse_flag(&args, "--seed") {
         runner::set_base_seed(seed);
     }
+    runner::set_trace_path(parse_string_flag(&args, "--trace-events"));
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -108,7 +116,7 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--threads" || *a == "--seed" {
+            if *a == "--threads" || *a == "--seed" || *a == "--trace-events" {
                 skip_next = true;
                 return false;
             }
@@ -118,7 +126,9 @@ fn main() {
         .collect();
 
     if targets.is_empty() || targets == ["help"] {
-        eprintln!("usage: experiments <figure>|all [--full] [--threads N] [--seed N]");
+        eprintln!(
+            "usage: experiments <figure>|all [--full] [--threads N] [--seed N] [--trace-events PATH]"
+        );
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });
     }

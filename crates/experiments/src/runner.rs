@@ -49,6 +49,22 @@ static BASE_SEED: AtomicU64 = AtomicU64::new(0);
 /// Completed-run observability records awaiting [`take_reports`].
 static REPORTS: Mutex<Vec<RunnerReport>> = Mutex::new(Vec::new());
 
+/// Process-wide event-trace destination (`--trace-events PATH`); empty
+/// when tracing is off.
+static TRACE_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets (or, with `None`, clears) the process-wide event-trace path.
+/// Figures that support tracing write a JSONL event stream of one
+/// representative trial there.
+pub fn set_trace_path(path: Option<String>) {
+    *TRACE_PATH.lock().expect("trace path lock") = path;
+}
+
+/// The event-trace destination installed by `--trace-events`, if any.
+pub fn trace_path() -> Option<String> {
+    TRACE_PATH.lock().expect("trace path lock").clone()
+}
+
 /// Sets the process-wide default worker count (`--threads N`).
 ///
 /// `0` restores auto-detection. Runs already in flight are unaffected.
@@ -233,6 +249,21 @@ impl TrialRunner {
             });
         results
     }
+
+    /// Runs every trial and folds the results **in trial-index order**
+    /// into an accumulator — the deterministic per-trial merge for
+    /// counter-style aggregates. Because [`TrialRunner::run`] already
+    /// restores index order, the fold sees the same sequence for any
+    /// worker count, so merged counters (e.g.
+    /// `stochastic_noc::events::CounterSink`) are `--threads`-independent.
+    pub fn run_fold<T, A, F, M>(&self, f: F, init: A, merge: M) -> A
+    where
+        T: Send,
+        F: Fn(u64) -> T + Sync,
+        M: FnMut(A, T) -> A,
+    {
+        self.run(f).into_iter().fold(init, merge)
+    }
 }
 
 #[cfg(test)]
@@ -289,6 +320,57 @@ mod tests {
         // Stable for a fixed global base seed.
         let a2 = TrialRunner::for_figure("fig4-4", 4);
         assert_eq!(a.trial_seed(0), a2.trial_seed(0));
+    }
+
+    #[test]
+    fn trace_path_roundtrips() {
+        set_trace_path(Some("events.jsonl".to_string()));
+        assert_eq!(trace_path().as_deref(), Some("events.jsonl"));
+        set_trace_path(None);
+        assert_eq!(trace_path(), None);
+    }
+
+    #[test]
+    fn merged_event_counters_are_thread_count_independent() {
+        use noc_fabric::NodeId;
+        use stochastic_noc::events::CounterSink;
+        use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+        // Per-trial CounterSinks merged in trial-index order must be
+        // identical — per-tile, per-link, and in totals — whether the
+        // trials ran on 1, 2 or 8 workers.
+        let run_merged = |threads: usize| {
+            TrialRunner::new(1234, 12).threads(threads).run_fold(
+                |seed| {
+                    let mut sim = SimulationBuilder::square_grid(4)
+                        .config(StochasticConfig::new(0.5, 8).unwrap().with_max_rounds(20))
+                        .fault_model(
+                            noc_faults::FaultModel::builder()
+                                .p_upset(0.1)
+                                .sigma_synch(0.2)
+                                .build()
+                                .unwrap(),
+                        )
+                        .seed(seed)
+                        .build_with_sink(CounterSink::new());
+                    sim.inject(NodeId(5), NodeId(11), vec![1, 2, 3]);
+                    let (report, counters) = sim.run_to_report_and_sink();
+                    counters.reconcile(&report).expect("trial reconciles");
+                    counters
+                },
+                CounterSink::new(),
+                |mut acc, trial| {
+                    acc.merge(&trial);
+                    acc
+                },
+            )
+        };
+
+        let serial = run_merged(1);
+        assert!(serial.totals().frames_sent > 0, "trials did real work");
+        for threads in [2, 8] {
+            assert_eq!(run_merged(threads), serial, "threads={threads}");
+        }
     }
 
     #[test]

@@ -19,6 +19,21 @@ pub fn std_dev(values: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
+/// Bessel-corrected sample standard deviation (divides the squared
+/// deviations by `n - 1`); `None` for fewer than two values.
+///
+/// This is the estimator confidence intervals need: the population
+/// formula ([`std_dev`]) is biased low when the mean itself was
+/// estimated from the same handful of samples.
+pub fn sample_std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
 /// Mean and standard deviation together (std 0 for singletons).
 pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
     let m = mean(values)?;
@@ -59,13 +74,16 @@ pub fn min_max(values: &[f64]) -> Option<(f64, f64)> {
 }
 
 /// The half-width of a normal-approximation 95% confidence interval on
-/// the mean (`1.96 · σ/√n`); `None` for fewer than two values.
+/// the mean (`1.96 · s/√n` with `s` the Bessel-corrected
+/// [`sample_std_dev`]); `None` for fewer than two values.
 ///
 /// With the ≤10 repetitions the figures use, the normal approximation is
 /// a deliberate simplification — the tables report it as `±x` alongside
-/// the mean rather than claiming exact coverage.
+/// the mean rather than claiming exact coverage. Using the sample
+/// standard deviation keeps the interval from being understated at those
+/// small `n` (the population formula shrinks it by a further √((n-1)/n)).
 pub fn ci95_half_width(values: &[f64]) -> Option<f64> {
-    let sd = std_dev(values)?;
+    let sd = sample_std_dev(values)?;
     Some(1.96 * sd / (values.len() as f64).sqrt())
 }
 
@@ -199,6 +217,20 @@ mod tests {
         assert!((s.std_dev - 2.0).abs() < 1e-12);
         assert_eq!((s.min, s.max), (2.0, 9.0));
         assert!(s.min <= s.median && s.median <= s.p95 && s.p95 <= s.max);
-        assert!((s.ci95 - 1.96 * 2.0 / 8f64.sqrt()).abs() < 1e-12);
+        // CI uses the Bessel-corrected sample std dev: population sd 2.0
+        // scaled by sqrt(n / (n - 1)) = sqrt(8 / 7).
+        let sample_sd = 2.0 * (8.0f64 / 7.0).sqrt();
+        assert!((s.ci95 - 1.96 * sample_sd / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_std_dev_applies_bessel_correction() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let pop = std_dev(&data).unwrap();
+        let sample = sample_std_dev(&data).unwrap();
+        assert!((pop - 2.0).abs() < 1e-12);
+        assert!((sample - 2.0 * (8.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(sample > pop, "Bessel correction widens the estimate");
+        assert_eq!(sample_std_dev(&[1.0]), None);
     }
 }

@@ -18,9 +18,13 @@
 ///
 /// let mut clock = ClockDomain::new();
 /// // A tile running 60% of a round slow this round slips the boundary:
-/// assert!(clock.advance(0.6));
+/// assert_eq!(clock.advance(0.6), 1);
 /// // ...and is back in step afterwards (the slip consumed the debt).
-/// assert!(!clock.advance(0.0));
+/// assert_eq!(clock.advance(0.0), 0);
+/// // A massive deviation slips as many boundaries as it crossed
+/// // (accumulated skew is -0.4 here, so 2.0 more crosses two):
+/// assert_eq!(clock.advance(2.0), 2);
+/// assert!(clock.skew() > -0.5 && clock.skew() <= 0.5);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct ClockDomain {
@@ -37,19 +41,22 @@ impl ClockDomain {
     /// Advances the domain by one round whose duration deviated from `T_R`
     /// by `skew_fraction` (e.g. `0.1` = 10% slow, `-0.1` = 10% fast).
     ///
-    /// Returns `true` if the accumulated skew crossed half a round in
-    /// either direction — the tile slipped a round boundary and its sends
-    /// this round are delayed by one round. The slip resets the
-    /// accumulated skew by a whole round in the appropriate direction.
-    pub fn advance(&mut self, skew_fraction: f64) -> bool {
+    /// Returns the number of round boundaries slipped: each time the
+    /// accumulated skew crosses half a round in either direction, the tile
+    /// misses a boundary and its sends this round are delayed by one
+    /// round. Every slip resets the accumulated skew by a whole round in
+    /// the appropriate direction, so a `skew_fraction` larger than 1.5
+    /// slips more than once and the residual skew is always restored to
+    /// the documented `(-0.5, 0.5]` range.
+    pub fn advance(&mut self, skew_fraction: f64) -> u32 {
         self.skew += skew_fraction;
-        if self.skew.abs() > 0.5 {
+        let mut count = 0;
+        while self.skew <= -0.5 || self.skew > 0.5 {
             self.skew -= self.skew.signum();
             self.slips += 1;
-            true
-        } else {
-            false
+            count += 1;
         }
+        count
     }
 
     /// Current accumulated skew, as a fraction of `T_R` in `(-0.5, 0.5]`.
@@ -77,7 +84,7 @@ mod tests {
     fn ideal_clock_never_slips() {
         let mut c = ClockDomain::new();
         for _ in 0..1000 {
-            assert!(!c.advance(0.0));
+            assert_eq!(c.advance(0.0), 0);
         }
         assert_eq!(c.slips(), 0);
         assert_eq!(c.skew(), 0.0);
@@ -86,9 +93,9 @@ mod tests {
     #[test]
     fn small_skews_accumulate_into_a_slip() {
         let mut c = ClockDomain::new();
-        assert!(!c.advance(0.3));
-        assert!(!c.advance(0.2)); // exactly 0.5: not yet over
-        assert!(c.advance(0.1)); // 0.6 > 0.5: slip
+        assert_eq!(c.advance(0.3), 0);
+        assert_eq!(c.advance(0.2), 0); // exactly 0.5: not yet over
+        assert_eq!(c.advance(0.1), 1); // 0.6 > 0.5: slip
         assert_eq!(c.slips(), 1);
         assert!((c.skew() - (-0.4)).abs() < 1e-12);
     }
@@ -96,8 +103,20 @@ mod tests {
     #[test]
     fn fast_clocks_slip_too() {
         let mut c = ClockDomain::new();
-        assert!(c.advance(-0.7));
+        assert_eq!(c.advance(-0.7), 1);
         assert!((c.skew() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_skews_slip_multiple_boundaries() {
+        let mut c = ClockDomain::new();
+        assert_eq!(c.advance(2.6), 3, "2.6 crosses three boundaries");
+        assert!((c.skew() - (-0.4)).abs() < 1e-12);
+        assert_eq!(c.slips(), 3);
+
+        let mut fast = ClockDomain::new();
+        assert_eq!(fast.advance(-1.6), 2);
+        assert!((fast.skew() - 0.4).abs() < 1e-12);
     }
 
     #[test]
@@ -132,13 +151,14 @@ mod tests {
 
     proptest! {
         #[test]
-        fn skew_stays_bounded(skews in proptest::collection::vec(-1.0f64..1.0, 0..500)) {
+        fn skew_stays_bounded(skews in proptest::collection::vec(-3.0f64..3.0, 0..500)) {
             let mut c = ClockDomain::new();
             for s in skews {
                 c.advance(s);
-                // After each advance, |skew| <= 1.0 (one slip can leave at
-                // most half a round plus the incoming skew's remainder).
-                prop_assert!(c.skew().abs() <= 1.0);
+                // After each advance the residual skew sits in the
+                // documented half-open range, no matter how large the
+                // per-round deviation was.
+                prop_assert!(c.skew() > -0.5 && c.skew() <= 0.5);
             }
         }
     }

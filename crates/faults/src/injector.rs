@@ -81,6 +81,21 @@ impl CrashSchedule {
     }
 }
 
+/// Running totals of the faults an injector has actually fired, so event
+/// streams and reports can be reconciled against the *injection* side:
+/// every detected or undetected upset in a report must trace back to one
+/// `upsets` tick here, and likewise for probabilistic overflow drops.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectionTally {
+    /// Times [`FaultInjector::upset_occurs`] answered `true`.
+    pub upsets: u64,
+    /// Times [`FaultInjector::overflow_drop`] answered `true`.
+    pub overflow_drops: u64,
+    /// Non-zero skew fractions handed out by
+    /// [`FaultInjector::round_skew`].
+    pub skew_draws: u64,
+}
+
 /// A seeded source of fault decisions, owned by the simulation engine.
 ///
 /// All stochastic fault events — upsets, overflow drops, crash sampling,
@@ -91,6 +106,7 @@ pub struct FaultInjector {
     model: FaultModel,
     rng: StdRng,
     gauss: GaussianSampler,
+    tally: InjectionTally,
 }
 
 impl FaultInjector {
@@ -108,12 +124,19 @@ impl FaultInjector {
             model,
             rng: StdRng::seed_from_u64(seed),
             gauss: GaussianSampler::new(),
+            tally: InjectionTally::default(),
         }
     }
 
     /// The model in force.
     pub fn model(&self) -> &FaultModel {
         &self.model
+    }
+
+    /// Totals of the faults fired so far (the injection-side ledger that
+    /// event attribution reconciles against).
+    pub fn tally(&self) -> InjectionTally {
+        self.tally
     }
 
     /// Samples which of `n` tiles are dead from the start (Bernoulli with
@@ -155,7 +178,9 @@ impl FaultInjector {
 
     /// Does a data upset scramble the packet on this link traversal?
     pub fn upset_occurs(&mut self) -> bool {
-        self.bernoulli(self.model.p_upset)
+        let hit = self.bernoulli(self.model.p_upset);
+        self.tally.upsets += u64::from(hit);
+        hit
     }
 
     /// Applies the configured error model to `payload` in place
@@ -190,7 +215,9 @@ impl FaultInjector {
 
     /// Is a received packet dropped by (probabilistic) buffer overflow?
     pub fn overflow_drop(&mut self) -> bool {
-        self.bernoulli(self.model.p_overflow)
+        let hit = self.bernoulli(self.model.p_overflow);
+        self.tally.overflow_drops += u64::from(hit);
+        hit
     }
 
     /// Samples this tile's round-duration skew as a *fraction of `T_R`*
@@ -199,6 +226,7 @@ impl FaultInjector {
         if self.model.sigma_synch == 0.0 {
             0.0
         } else {
+            self.tally.skew_draws += 1;
             self.gauss
                 .sample(&mut self.rng, 0.0, self.model.sigma_synch)
         }
@@ -298,6 +326,28 @@ mod tests {
     fn too_many_dead_tiles_panics() {
         let mut inj = FaultInjector::new(FaultModel::none(), 3);
         let _ = inj.sample_exact_dead_tiles(4, 5);
+    }
+
+    #[test]
+    fn tally_counts_only_fired_faults() {
+        let mut inj = FaultInjector::new(model(0.3, 0.3), 5);
+        let mut upsets = 0u64;
+        let mut overflows = 0u64;
+        for _ in 0..1000 {
+            upsets += u64::from(inj.upset_occurs());
+            overflows += u64::from(inj.overflow_drop());
+        }
+        let t = inj.tally();
+        assert_eq!(t.upsets, upsets);
+        assert_eq!(t.overflow_drops, overflows);
+        assert_eq!(t.skew_draws, 0, "sigma 0 never draws skew");
+
+        let m = FaultModel::builder().sigma_synch(0.25).build().unwrap();
+        let mut skewed = FaultInjector::new(m, 5);
+        for _ in 0..17 {
+            let _ = skewed.round_skew();
+        }
+        assert_eq!(skewed.tally().skew_draws, 17);
     }
 
     #[test]

@@ -46,7 +46,7 @@ mod rng;
 mod sweep;
 
 pub use error_vector::{bit_error_probability, vector_probability, ErrorModel};
-pub use injector::{CrashSchedule, FaultInjector};
+pub use injector::{CrashSchedule, FaultInjector, InjectionTally};
 pub use model::{FaultModel, FaultModelBuilder, InvalidFaultModel, OverflowMode};
 pub use rng::GaussianSampler;
 pub use sweep::{linspace, FaultSweep};
