@@ -128,8 +128,9 @@ struct BeamformerIp {
     sensors: usize,
     blocks: u32,
     delays: Vec<usize>,
-    /// block id -> per-sensor samples
-    pending: std::collections::HashMap<u32, Vec<Option<Vec<f64>>>>,
+    /// block id -> per-sensor samples (ordered: assembly must not depend
+    /// on hash-iteration order, per the map-iteration-order lint)
+    pending: std::collections::BTreeMap<u32, Vec<Option<Vec<f64>>>>,
     state: Rc<RefCell<BeamformerState>>,
 }
 

@@ -338,7 +338,7 @@ impl Fft2dApp {
                     state: Rc::clone(&state),
                 }),
             );
-        let mut mapped = std::collections::HashSet::new();
+        let mut mapped = std::collections::BTreeSet::new();
         for (_, tiles) in &assignments {
             for &tile in tiles {
                 if mapped.insert(tile) {

@@ -259,7 +259,7 @@ impl MasterSlaveApp {
             }
         }
         // Ensure distinct tiles across all assignments.
-        let mut used = std::collections::HashSet::new();
+        let mut used = std::collections::BTreeSet::new();
         let mut cursor = 0;
         for roles in &mut assignments {
             for tile in roles.iter_mut() {

@@ -308,8 +308,8 @@ struct EncoderIp {
     reservoir: NodeId,
     bits_per_frame: usize,
     frames: u32,
-    pending_weights: std::collections::HashMap<u32, Vec<f64>>,
-    pending_coeffs: std::collections::HashMap<u32, Vec<f64>>,
+    pending_weights: std::collections::BTreeMap<u32, Vec<f64>>,
+    pending_coeffs: std::collections::BTreeMap<u32, Vec<f64>>,
     encoded: u32,
 }
 

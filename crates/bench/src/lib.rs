@@ -1,3 +1,5 @@
 //! Benchmark-only crate: all content lives in `benches/`, one Criterion
 //! target per figure/table of the paper (see DESIGN.md's experiment
 //! index).
+
+#![forbid(unsafe_code)]

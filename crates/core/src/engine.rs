@@ -27,7 +27,7 @@ use noc_fabric::{
 };
 use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
 use crate::config::StochasticConfig;
@@ -76,11 +76,12 @@ impl MemoEntry {
 /// During the forward phase every tile holding a message at the same TTL
 /// produces the identical wire frame, so the CRC/LFSR encode work is done
 /// once per `(message, ttl)` per round instead of once per tile. Cleared
-/// (capacity retained) at the start of each forward phase; TTLs decrement
-/// every round, so entries can never be stale across rounds.
+/// at the start of each forward phase; TTLs decrement every round, so
+/// entries can never be stale across rounds. Keyed by `BTreeMap` so no
+/// hash-iteration order can ever leak into observable state.
 #[derive(Default)]
 struct FrameMemo {
-    map: HashMap<(MessageId, u8), Vec<MemoEntry>>,
+    map: BTreeMap<(MessageId, u8), Vec<MemoEntry>>,
     scratch: Vec<u8>,
 }
 
@@ -309,6 +310,7 @@ impl SimulationBuilder {
     pub fn build_with_sink<S: EventSink>(self, sink: S) -> Simulation<S> {
         self.config
             .validate()
+            // noc-lint: allow(hot-path-panic, reason = "builder-time validation; runs once before the round loop, never per step")
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
         let mut injector = FaultInjector::new(self.fault_model, self.seed);
         let n = self.topology.node_count();
@@ -325,7 +327,7 @@ impl SimulationBuilder {
             egress_next: vec![None; self.egress_limits.len()],
             egress_limits: self.egress_limits,
             forward_overrides: self.forward_overrides,
-            terminated: HashSet::new(),
+            terminated: BTreeSet::new(),
             report: SimulationReport::new(self.tech),
             buffers: (0..n).map(|_| SendBuffer::new()).collect(),
             clocks: vec![ClockDomain::new(); n],
@@ -334,7 +336,7 @@ impl SimulationBuilder {
             inbox_scratch: vec![Vec::new(); n],
             delivery_scratch: vec![Vec::new(); n],
             frame_memo: FrameMemo::default(),
-            informed: HashMap::new(),
+            informed: BTreeMap::new(),
             tiles_alive,
             links_alive,
             topology: self.topology,
@@ -383,8 +385,10 @@ pub struct Simulation<S: EventSink = NullSink> {
     delivery_scratch: Vec<Vec<(NodeId, Arc<[u8]>)>>,
     frame_memo: FrameMemo,
     /// Tiles whose send buffer has seen each message id — maintained at
-    /// first-sight so `informed_count` is O(1) instead of an O(n) scan.
-    informed: HashMap<MessageId, usize>,
+    /// first-sight so `informed_count` is cheap instead of an O(n) scan.
+    /// Ordered so the purge loop and any future iteration are seeded-run
+    /// deterministic.
+    informed: BTreeMap<MessageId, usize>,
     ips: Vec<Box<dyn IpCore>>,
     egress_limits: Vec<Option<usize>>,
     /// Round-robin egress resume point per tile: the *id* of the next
@@ -392,7 +396,7 @@ pub struct Simulation<S: EventSink = NullSink> {
     /// expiry, termination purges) cannot skip or double-serve entries.
     egress_next: Vec<Option<MessageId>>,
     forward_overrides: Vec<Option<f64>>,
-    terminated: HashSet<MessageId>,
+    terminated: BTreeSet<MessageId>,
     report: SimulationReport,
     round: u64,
     next_message_id: u64,
@@ -690,6 +694,7 @@ impl<S: EventSink> Simulation<S> {
                         // on two hash probes, with no CRC or parse work.
                         let id = codec
                             .peek_id(&frame.bytes)
+                            // noc-lint: allow(hot-path-panic, reason = "engine invariant: never-scrambled frames come from our own encoder, so the header is present by construction")
                             .expect("self-encoded frames carry a full header");
                         if terminated.contains(&id) || buffers[tile].has_seen(id) {
                             sink.emit(SimEvent::DuplicateDrop {
@@ -701,6 +706,7 @@ impl<S: EventSink> Simulation<S> {
                         }
                         codec
                             .decode_view_trusted(&frame.bytes)
+                            // noc-lint: allow(hot-path-panic, reason = "engine invariant: trusted decode of a frame this engine encoded; failure means a codec bug, not input")
                             .expect("self-encoded frames parse")
                     };
                     *informed.entry(view.id).or_insert(0) += 1;

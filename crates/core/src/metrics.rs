@@ -1,6 +1,6 @@
 //! Simulation outcome metrics: latency, traffic, energy, fault counters.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use noc_energy::{communication_energy, Bits, Joules, TechnologyLibrary};
 use noc_fabric::{MessageId, NodeId};
@@ -70,8 +70,9 @@ pub struct SimulationReport {
     pub clock_slips: u64,
     /// Messages garbage-collected by TTL expiry, summed over all tiles.
     pub ttl_expirations: u64,
-    /// Per-message lifecycle records.
-    records: HashMap<MessageId, MessageRecord>,
+    /// Per-message lifecycle records, ordered by id so [`Self::records`]
+    /// iterates identically however messages were injected or merged.
+    records: BTreeMap<MessageId, MessageRecord>,
     /// Technology used for energy conversion.
     tech: TechnologyLibrary,
 }
@@ -90,7 +91,7 @@ impl SimulationReport {
             crash_drops: 0,
             clock_slips: 0,
             ttl_expirations: 0,
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             tech,
         }
     }
@@ -154,7 +155,7 @@ impl SimulationReport {
         self.records.get(&id)
     }
 
-    /// Iterates over all message records.
+    /// Iterates over all message records in ascending id order.
     pub fn records(&self) -> impl Iterator<Item = &MessageRecord> {
         self.records.values()
     }
@@ -258,6 +259,37 @@ mod tests {
         r.bits_sent = Bits(1_000);
         let expect = 1000.0 * 2.4e-10;
         assert!((r.total_energy().joules() - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn record_view_is_independent_of_insertion_order() {
+        // Regression for the map-iteration-order invariant: the records
+        // view (which digests, tables and JSON reports iterate) must not
+        // depend on the order messages were injected or delivery marks
+        // arrived — BTreeMap keys it by id.
+        let ids: Vec<u64> = vec![9, 2, 17, 4, 0, 12, 7];
+        let mut forward = report();
+        for &id in &ids {
+            forward.record_injection(record(id, id % 3));
+        }
+        let mut reversed = report();
+        for &id in ids.iter().rev() {
+            reversed.record_injection(record(id, id % 3));
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            forward.record_delivery(MessageId(id), 10 + i as u64);
+        }
+        for (i, &id) in ids.iter().enumerate().collect::<Vec<_>>().into_iter().rev() {
+            reversed.record_delivery(MessageId(id), 10 + i as u64);
+        }
+        let f: Vec<_> = forward.records().collect();
+        let r: Vec<_> = reversed.records().collect();
+        assert_eq!(f, r, "iteration order must be by id, not insertion");
+        let sorted: Vec<u64> = f.iter().map(|rec| rec.id.0).collect();
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        assert_eq!(sorted, expect);
+        assert_eq!(forward.average_latency(), reversed.average_latency());
     }
 
     #[test]

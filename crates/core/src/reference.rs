@@ -31,7 +31,7 @@ use noc_energy::{Bits, TechnologyLibrary};
 use noc_fabric::{ClockDomain, Message, MessageId, NodeId, ReceiveBuffer, Topology, WireCodec};
 use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 use crate::config::StochasticConfig;
 use crate::engine::RoundStats;
@@ -78,7 +78,7 @@ pub struct ReferenceSimulation {
     clocks: Vec<ClockDomain>,
     inbox_next: Vec<Vec<Frame>>,
     inbox_later: Vec<Vec<Frame>>,
-    terminated: HashSet<MessageId>,
+    terminated: BTreeSet<MessageId>,
     report: SimulationReport,
     round: u64,
     next_message_id: u64,
@@ -110,7 +110,7 @@ impl ReferenceSimulation {
             clocks: vec![ClockDomain::new(); n],
             inbox_next: vec![Vec::new(); n],
             inbox_later: vec![Vec::new(); n],
-            terminated: HashSet::new(),
+            terminated: BTreeSet::new(),
             tiles_alive,
             links_alive,
             topology,

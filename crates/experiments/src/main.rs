@@ -11,6 +11,8 @@
 //! `--trace-events PATH` streams a JSONL event log of one representative
 //! trial to PATH (currently supported by `fig3-3`).
 
+#![forbid(unsafe_code)]
+
 use noc_experiments::{
     ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
     fig4_9, fig5_3, grid_spread, runner, Scale,

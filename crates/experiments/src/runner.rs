@@ -205,6 +205,7 @@ impl TrialRunner {
     {
         let trials = usize::try_from(self.trials).expect("trial count fits usize");
         let workers = self.effective_workers();
+        // noc-lint: allow(nondeterministic-time, reason = "wall-clock is stderr observability only; trial seeds and all table output derive from the seed tree")
         let start = Instant::now();
 
         let results: Vec<T> = if workers <= 1 || trials <= 1 {

@@ -119,6 +119,7 @@ impl FaultInjector {
     pub fn new(model: FaultModel, seed: u64) -> Self {
         model
             .validate()
+            // noc-lint: allow(hot-path-panic, reason = "constructor-time validation of a builder-produced model; outside the per-round sampling path")
             .unwrap_or_else(|e| panic!("invalid fault model: {e}"));
         Self {
             model,

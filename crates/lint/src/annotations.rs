@@ -1,0 +1,182 @@
+//! The `noc-lint: allow(<rule>, reason = "…")` annotation grammar.
+//!
+//! An allow annotation is a line comment of the form:
+//!
+//! ```text
+//! // noc-lint: allow(map-iteration-order, reason = "membership-only set")
+//! ```
+//!
+//! Placement rules:
+//!
+//! * a **trailing** annotation (code precedes it on the same line)
+//!   suppresses matching findings on that line;
+//! * an **own-line** annotation suppresses matching findings on its own
+//!   line and on the following line.
+//!
+//! The `reason` is mandatory: an allow without one (or any comment that
+//! starts with `noc-lint:` but does not parse) is itself reported as a
+//! `bad-annotation` finding, so suppressions can never silently rot.
+
+use crate::lexer::LineComment;
+
+/// One parsed allow annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory human reason.
+    pub reason: String,
+    /// Source line of the annotation comment.
+    pub line: usize,
+    /// Whether the comment stood on its own line.
+    pub own_line: bool,
+}
+
+impl Allow {
+    /// Does this annotation cover a finding of `rule` at `line`?
+    pub fn covers(&self, rule: &str, line: usize) -> bool {
+        self.rule == rule && (line == self.line || (self.own_line && line == self.line + 1))
+    }
+}
+
+/// A malformed `noc-lint:` comment.
+#[derive(Debug, Clone)]
+pub struct BadAnnotation {
+    pub line: usize,
+    pub message: String,
+}
+
+/// Scans the file's line comments for annotations.
+pub fn parse(comments: &[LineComment]) -> (Vec<Allow>, Vec<BadAnnotation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for comment in comments {
+        let body = comment.text.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("noc-lint:") else {
+            continue;
+        };
+        match parse_allow(rest.trim()) {
+            Ok((rule, reason)) => allows.push(Allow {
+                rule,
+                reason,
+                line: comment.line,
+                own_line: comment.own_line,
+            }),
+            Err(message) => bad.push(BadAnnotation {
+                line: comment.line,
+                message,
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+/// Parses `allow(<rule>, reason = "…")`.
+fn parse_allow(text: &str) -> Result<(String, String), String> {
+    let Some(args) = text.strip_prefix("allow") else {
+        return Err(format!("expected `allow(...)`, found `{text}`"));
+    };
+    let args = args.trim_start();
+    let inner = args
+        .strip_prefix('(')
+        .and_then(|a| a.strip_suffix(')'))
+        .ok_or_else(|| "expected `allow(<rule>, reason = \"...\")`".to_string())?;
+    let (rule, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "missing mandatory `reason = \"...\"` argument".to_string())?;
+    let rule = rule.trim();
+    if rule.is_empty() || !rule.chars().all(|c| c.is_ascii_alphanumeric() || c == '-') {
+        return Err(format!("`{rule}` is not a rule name"));
+    }
+    let rest = rest.trim();
+    let value = rest
+        .strip_prefix("reason")
+        .map(str::trim_start)
+        .and_then(|r| r.strip_prefix('='))
+        .map(str::trim)
+        .ok_or_else(|| "missing mandatory `reason = \"...\"` argument".to_string())?;
+    let reason = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| "reason must be a double-quoted string".to_string())?;
+    if reason.trim().is_empty() {
+        return Err("reason must not be empty".to_string());
+    }
+    Ok((rule.to_string(), reason.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comment(text: &str, line: usize, own_line: bool) -> LineComment {
+        LineComment {
+            text: text.to_string(),
+            line,
+            own_line,
+        }
+    }
+
+    #[test]
+    fn parses_well_formed_allow() {
+        let (allows, bad) = parse(&[comment(
+            " noc-lint: allow(ambient-rng, reason = \"test harness\")",
+            7,
+            true,
+        )]);
+        assert!(bad.is_empty());
+        assert_eq!(allows.len(), 1);
+        assert_eq!(allows[0].rule, "ambient-rng");
+        assert_eq!(allows[0].reason, "test harness");
+        assert!(allows[0].covers("ambient-rng", 7));
+        assert!(
+            allows[0].covers("ambient-rng", 8),
+            "own-line covers next line"
+        );
+        assert!(!allows[0].covers("ambient-rng", 9));
+        assert!(!allows[0].covers("hot-path-panic", 7));
+    }
+
+    #[test]
+    fn trailing_allow_covers_only_its_line() {
+        let (allows, _) = parse(&[comment(
+            " noc-lint: allow(stdout-in-lib, reason = \"x\")",
+            3,
+            false,
+        )]);
+        assert!(allows[0].covers("stdout-in-lib", 3));
+        assert!(!allows[0].covers("stdout-in-lib", 4));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let (allows, bad) = parse(&[comment(" noc-lint: allow(ambient-rng)", 1, true)]);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("reason"));
+    }
+
+    #[test]
+    fn empty_reason_is_rejected() {
+        let (allows, bad) = parse(&[comment(
+            " noc-lint: allow(ambient-rng, reason = \"  \")",
+            1,
+            true,
+        )]);
+        assert!(allows.is_empty());
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn garbage_after_prefix_is_reported() {
+        let (_, bad) = parse(&[comment(" noc-lint: disable-everything", 2, true)]);
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_comments_are_ignored() {
+        let (allows, bad) = parse(&[comment(" ordinary words about noc-lint", 1, true)]);
+        assert!(allows.is_empty());
+        assert!(bad.is_empty());
+    }
+}

@@ -1,0 +1,328 @@
+//! Workspace walking, test-code filtering, suppression, and rendering.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::annotations;
+use crate::lexer::{self, Token};
+use crate::rules::{self, Finding};
+
+/// Directory names never descended into: generated output, third-party
+/// stand-ins, test code (exempt from the shipped-code invariants), and
+/// the lint corpus (which contains violations on purpose).
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "corpus", ".git", ".github",
+];
+
+/// The outcome of linting a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding, allowed and not, sorted by (file, line, column,
+    /// rule) so output is deterministic for any traversal order.
+    pub findings: Vec<Finding>,
+    /// Files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings not covered by a reasoned allow — the gate condition.
+    pub fn unallowed(&self) -> usize {
+        self.findings.iter().filter(|f| !f.allowed).count()
+    }
+
+    /// Findings suppressed by a reasoned allow.
+    pub fn allowed(&self) -> usize {
+        self.findings.iter().filter(|f| f.allowed).count()
+    }
+}
+
+/// Lints every `.rs` file under `root`.
+///
+/// # Errors
+///
+/// Returns an error string when `root` does not exist or a file cannot
+/// be read.
+pub fn lint_root(root: &Path) -> Result<Report, String> {
+    let mut files = Vec::new();
+    collect_rust_files(root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
+    files.sort();
+    let mut report = Report::default();
+    for file in &files {
+        let source = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let rel = relative_path(root, file);
+        report.findings.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report.findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+    });
+    Ok(report)
+}
+
+/// Lints one file's source text under its workspace-relative path.
+/// Exposed for the corpus harness and unit tests.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    let lexed = lexer::lex(source);
+    let filtered = strip_test_items(&lexed.tokens);
+    let (allows, bad) = annotations::parse(&lexed.comments);
+    let mut findings = rules::check_file(rel_path, &filtered, &lexed.tokens);
+    for f in &mut findings {
+        if let Some(allow) = allows.iter().find(|a| a.covers(f.rule, f.line)) {
+            f.allowed = true;
+            f.reason = Some(allow.reason.clone());
+        }
+    }
+    // Malformed annotations are findings themselves and cannot be
+    // annotated away.
+    for b in bad {
+        findings.push(Finding {
+            rule: "bad-annotation",
+            file: rel_path.to_string(),
+            line: b.line,
+            column: 1,
+            message: b.message,
+            allowed: false,
+            reason: None,
+        });
+    }
+    findings
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(|e| e.file_name());
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            collect_rust_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn relative_path(root: &Path, file: &Path) -> String {
+    file.strip_prefix(root)
+        .unwrap_or(file)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Removes items gated behind a test attribute (`#[test]`, `#[cfg(test)]`
+/// and `#[cfg(all(test, …))]`) from the token stream: test code is exempt
+/// from the shipped-code invariants.
+///
+/// An attribute mentioning `not` (as in `#[cfg(not(test))]`) is treated
+/// as non-test, so the guarded code stays linted.
+fn strip_test_items(tokens: &[Token]) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && tokens.get(i + 1).is_some_and(|t| t.text == "[") {
+            let close = matching_bracket(tokens, i + 1);
+            let body = &tokens[i + 2..close.min(tokens.len())];
+            let is_test =
+                body.iter().any(|t| t.text == "test") && !body.iter().any(|t| t.text == "not");
+            if is_test {
+                i = skip_attributes_and_item(tokens, close + 1);
+                continue;
+            }
+            out.extend_from_slice(&tokens[i..=close.min(tokens.len() - 1)]);
+            i = close + 1;
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `]` matching the `[` at `open`.
+fn matching_bracket(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (j, tok) in tokens.iter().enumerate().skip(open) {
+        match tok.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    tokens.len().saturating_sub(1)
+}
+
+/// Skips any further attributes, then one item (to its closing `}` or a
+/// top-level `;`), returning the index just past it.
+fn skip_attributes_and_item(tokens: &[Token], mut i: usize) -> usize {
+    while i < tokens.len()
+        && tokens[i].text == "#"
+        && tokens.get(i + 1).is_some_and(|t| t.text == "[")
+    {
+        i = matching_bracket(tokens, i + 1) + 1;
+    }
+    let mut depth = 0usize;
+    while i < tokens.len() {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            ";" if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Renders the unallowed findings and a summary for terminals.
+pub fn render_text(report: &Report) -> String {
+    let mut out = String::new();
+    for f in report.findings.iter().filter(|f| !f.allowed) {
+        out.push_str(&format!(
+            "{}:{}:{}: [{}] {}\n",
+            f.file, f.line, f.column, f.rule, f.message
+        ));
+    }
+    out.push_str(&format!(
+        "noc-lint: {} files scanned, {} findings ({} allowed, {} unallowed)\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.allowed(),
+        report.unallowed(),
+    ));
+    out
+}
+
+/// Renders the full report (allowed findings included, with reasons) as
+/// JSON with a stable field order — the CI artifact format.
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [\n");
+    for (i, f) in report.findings.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(f.rule)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&f.file)));
+        out.push_str(&format!("\"line\": {}, ", f.line));
+        out.push_str(&format!("\"column\": {}, ", f.column));
+        out.push_str(&format!("\"message\": {}, ", json_str(&f.message)));
+        out.push_str(&format!("\"allowed\": {}, ", f.allowed));
+        match &f.reason {
+            Some(r) => out.push_str(&format!("\"reason\": {}", json_str(r))),
+            None => out.push_str("\"reason\": null"),
+        }
+        out.push('}');
+        if i + 1 < report.findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!("  \"total\": {},\n", report.findings.len()));
+    out.push_str(&format!("  \"allowed\": {},\n", report.allowed()));
+    out.push_str(&format!("  \"unallowed\": {}\n", report.unallowed()));
+    out.push_str("}\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn findings_in_test_modules_are_skipped() {
+        let src = "pub fn ok() {}\n#[cfg(test)]\nmod tests {\n    use super::*;\n    #[test]\n    fn t() { x.unwrap(); }\n}\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn cfg_not_test_code_stays_linted() {
+        let src = "#[cfg(not(test))]\nfn f() { x.unwrap(); }\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn trailing_allow_suppresses_with_reason() {
+        let src = "fn f() { x.unwrap(); } // noc-lint: allow(hot-path-panic, reason = \"startup only\")\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].allowed);
+        assert_eq!(findings[0].reason.as_deref(), Some("startup only"));
+    }
+
+    #[test]
+    fn own_line_allow_covers_next_line() {
+        let src = "// noc-lint: allow(hot-path-panic, reason = \"boot\")\nfn f() { x.unwrap(); }\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert!(findings[0].allowed);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_finding() {
+        let src = "fn f() { x.unwrap(); } // noc-lint: allow(hot-path-panic)\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        assert!(rules.contains(&"hot-path-panic"));
+        assert!(rules.contains(&"bad-annotation"));
+        assert!(findings.iter().all(|f| !f.allowed));
+    }
+
+    #[test]
+    fn allow_for_wrong_rule_does_not_suppress() {
+        let src =
+            "fn f() { x.unwrap(); } // noc-lint: allow(ambient-rng, reason = \"wrong rule\")\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(!findings[0].allowed);
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let report = Report {
+            findings: lint_source(
+                "crates/core/src/engine.rs",
+                "fn f() { x.expect(\"why\"); }\n",
+            ),
+            files_scanned: 1,
+        };
+        let json = render_json(&report);
+        assert!(json.contains("\"rule\": \"hot-path-panic\""));
+        assert!(json.contains("\"unallowed\": 1"));
+        assert!(json.contains("\"files_scanned\": 1"));
+    }
+}

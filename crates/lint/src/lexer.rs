@@ -1,0 +1,475 @@
+//! A comment/string/raw-string-aware Rust lexer.
+//!
+//! The rule engine must never report a banned construct that only occurs
+//! inside a comment, a doc example, or a string literal, so the lexer
+//! fully classifies those regions instead of pattern-matching raw text.
+//! It handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and nested block comments;
+//! * string, byte-string and raw-string literals (`"…"`, `b"…"`,
+//!   `r"…"`, `r#"…"#` with any number of `#`s, and the `br` forms);
+//! * character literals vs. lifetimes (`'a'` vs. `'a`);
+//! * raw identifiers (`r#type`);
+//! * numeric literals (so rules can match arithmetic on them).
+//!
+//! Output is a stream of significant [`Token`]s plus the line comments
+//! (which carry the `noc-lint:` annotation grammar, parsed separately in
+//! [`crate::annotations`]).
+
+/// What a significant token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`unwrap`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// An integer or float literal.
+    Number,
+    /// A (cooked, raw or byte) string literal.
+    Str,
+    /// A character literal.
+    Char,
+    /// A lifetime (`'a`).
+    Lifetime,
+    /// Punctuation. Double colons are fused into one `::` token so rules
+    /// can match `Instant::now` as three consecutive tokens.
+    Punct,
+}
+
+/// One significant token with its source position (1-based).
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+/// One line comment with its source position (1-based).
+///
+/// `own_line` is true when no significant token precedes the comment on
+/// its line — annotation placement rules depend on it.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    pub text: String,
+    pub line: usize,
+    pub own_line: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<LineComment>,
+}
+
+/// Lexes `source` into significant tokens and line comments.
+///
+/// The lexer is total: malformed input (unterminated strings or block
+/// comments) consumes to end of input rather than failing, which is the
+/// right degradation for a linter — the compiler owns syntax errors.
+pub fn lex(source: &str) -> Lexed {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+    last_token_line: usize,
+    out: Lexed,
+    _source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Self {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            column: 1,
+            last_token_line: 0,
+            out: Lexed::default(),
+            _source: source,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn push_token(&mut self, kind: TokenKind, text: String, line: usize, column: usize) {
+        self.last_token_line = line;
+        self.out.tokens.push(Token {
+            kind,
+            text,
+            line,
+            column,
+        });
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(c) = self.peek(0) {
+            let (line, column) = (self.line, self.column);
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(),
+                '"' => {
+                    self.bump();
+                    self.cooked_string();
+                    self.push_token(TokenKind::Str, String::new(), line, column);
+                }
+                '\'' => self.char_or_lifetime(line, column),
+                c if c.is_ascii_digit() => self.number(line, column),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line, column),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push_token(TokenKind::Punct, "::".to_string(), line, column);
+                }
+                c => {
+                    self.bump();
+                    self.push_token(TokenKind::Punct, c.to_string(), line, column);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: usize) {
+        self.bump();
+        self.bump();
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        let own_line = self.last_token_line != line;
+        self.out.comments.push(LineComment {
+            text,
+            line,
+            own_line,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        self.bump();
+        self.bump();
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+    }
+
+    /// Consumes the body and closing quote of a cooked (escaped) string;
+    /// the opening quote is already consumed.
+    fn cooked_string(&mut self) {
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+    }
+
+    /// Consumes a raw string starting at `r` (or after a `b`): `r#*"…"#*`.
+    /// Returns false if what follows is not actually a raw string opener
+    /// (then nothing is consumed beyond the probe, which the caller
+    /// accounts for).
+    fn raw_string_body(&mut self) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            hashes += 1;
+            self.bump();
+        }
+        // Opening quote.
+        self.bump();
+        'scan: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+        }
+    }
+
+    /// Is `r`/`b`/`br`/`rb` at the current position a string prefix? The
+    /// current position is *on* the first letter.
+    fn string_prefix_len(&self) -> Option<(usize, bool)> {
+        let first = self.peek(0)?;
+        let probe = |at: usize, raw: bool| -> Option<(usize, bool)> {
+            match self.peek(at) {
+                Some('"') => Some((at, raw)),
+                Some('#') if raw => {
+                    let mut k = at;
+                    while self.peek(k) == Some('#') {
+                        k += 1;
+                    }
+                    (self.peek(k) == Some('"')).then_some((at, true))
+                }
+                _ => None,
+            }
+        };
+        match first {
+            'r' => match self.peek(1) {
+                Some('b') => probe(2, true),
+                _ => probe(1, true),
+            },
+            'b' => match self.peek(1) {
+                Some('r') => probe(2, true),
+                _ => probe(1, false),
+            },
+            _ => None,
+        }
+    }
+
+    fn ident_or_prefixed(&mut self, line: usize, column: usize) {
+        if let Some((prefix_len, raw)) = self.string_prefix_len() {
+            for _ in 0..prefix_len {
+                self.bump();
+            }
+            if raw {
+                self.raw_string_body();
+            } else {
+                self.bump(); // opening quote
+                self.cooked_string();
+            }
+            self.push_token(TokenKind::Str, String::new(), line, column);
+            return;
+        }
+        // Raw identifier r#ident: skip the prefix, keep the name.
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            if let Some(c) = self.peek(2) {
+                if c == '_' || c.is_alphabetic() {
+                    self.bump();
+                    self.bump();
+                }
+            }
+        }
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Ident, text, line, column);
+    }
+
+    fn number(&mut self, line: usize, column: usize) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' {
+                // `0.5` continues the number; `0..5` and `0.method()` do not.
+                match self.peek(1) {
+                    Some(d) if d.is_ascii_digit() => {
+                        text.push(c);
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            } else {
+                break;
+            }
+        }
+        self.push_token(TokenKind::Number, text, line, column);
+    }
+
+    fn char_or_lifetime(&mut self, line: usize, column: usize) {
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            // Escape: definitely a char literal.
+            Some('\\') => {
+                self.bump();
+                self.bump();
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                }
+                self.push_token(TokenKind::Char, String::new(), line, column);
+            }
+            Some(c) if c == '_' || c.is_alphanumeric() => {
+                if self.peek(1) == Some('\'') {
+                    // 'x' — a char literal.
+                    self.bump();
+                    self.bump();
+                    self.push_token(TokenKind::Char, String::new(), line, column);
+                } else {
+                    // 'name — a lifetime.
+                    let mut text = String::new();
+                    while let Some(c) = self.peek(0) {
+                        if c == '_' || c.is_alphanumeric() {
+                            text.push(c);
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.push_token(TokenKind::Lifetime, text, line, column);
+                }
+            }
+            // ''' or stray quote: treat as a char-ish token.
+            _ => {
+                self.bump();
+                self.push_token(TokenKind::Char, String::new(), line, column);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn banned_tokens_in_line_comments_are_not_idents() {
+        let src = "// thread_rng() would be bad\nlet x = 1;";
+        assert_eq!(idents(src), ["let", "x"]);
+    }
+
+    #[test]
+    fn banned_tokens_in_block_and_doc_comments_are_not_idents() {
+        let src =
+            "/* Instant::now() inside /* nested */ comment */\n/// HashMap in a doc\nfn f() {}";
+        assert_eq!(idents(src), ["fn", "f"]);
+    }
+
+    #[test]
+    fn banned_tokens_in_strings_are_not_idents() {
+        let src = r#"let s = "thread_rng and HashMap"; let t = b"unwrap";"#;
+        assert_eq!(idents(src), ["let", "s", "let", "t"]);
+    }
+
+    #[test]
+    fn banned_tokens_in_raw_strings_are_not_idents() {
+        let src = "let s = r#\"Instant::now() \" still in string \"# ;\nlet u = r\"panic!\";";
+        assert_eq!(idents(src), ["let", "s", "let", "u"]);
+    }
+
+    #[test]
+    fn raw_string_with_many_hashes_terminates_correctly() {
+        let src = "let s = r##\"x\"# not the end yet\"##; unwrap";
+        assert_eq!(idents(src), ["let", "s", "unwrap"]);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x }\nlet c = 'q'; let nl = '\\n';";
+        let lexed = lex(src);
+        let lifetimes = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Lifetime)
+            .count();
+        let chars = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Char)
+            .count();
+        assert_eq!(lifetimes, 3);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn double_colon_is_one_token() {
+        let toks = lex("Instant::now()").tokens;
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["Instant", "::", "now", "(", ")"]);
+        assert_eq!(toks[1].kind, TokenKind::Punct);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = lex("0..10 1_000 0.5 3e8").tokens;
+        let nums: Vec<String> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Number)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1_000", "0.5", "3e8"]);
+    }
+
+    #[test]
+    fn comments_record_placement() {
+        let src = "let x = 1; // trailing\n// own line\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn raw_identifiers_keep_their_name() {
+        assert_eq!(idents("let r#type = 3;"), ["let", "type"]);
+    }
+
+    #[test]
+    fn positions_are_one_based_and_accurate() {
+        let toks = lex("ab\n  cd").tokens;
+        assert_eq!((toks[0].line, toks[0].column), (1, 1));
+        assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_consumes_to_eof() {
+        let toks = lex("let s = \"unterminated unwrap").tokens;
+        assert!(toks.iter().all(|t| t.text != "unwrap"));
+    }
+}

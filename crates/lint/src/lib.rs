@@ -1,0 +1,37 @@
+//! `noc-lint` — an offline static-analysis pass enforcing the
+//! simulator's determinism and hot-path invariants.
+//!
+//! The whole value of this reproduction rests on byte-identical seeded
+//! determinism: golden-report digests, the `ReferenceSimulation` oracle,
+//! and `--threads`-independent merges all assume no code path ever
+//! consults ambient entropy, wall-clock time, or unordered-map iteration
+//! order. The tests enforce those invariants *after the fact*; this
+//! linter enforces them *statically*, before a nondeterministic
+//! construct can ship.
+//!
+//! The pass is dependency-free and purely lexical: a hand-rolled
+//! comment/string/raw-string-aware Rust lexer ([`lexer`]) feeds a rule
+//! engine ([`rules`]) of repo-specific invariants, with findings
+//! suppressible only through the reasoned
+//! `// noc-lint: allow(<rule>, reason = "…")` grammar ([`annotations`]).
+//! See DESIGN.md §10 for the rule catalogue.
+//!
+//! Run it over the workspace with:
+//!
+//! ```text
+//! cargo run -p noc-lint            # human-readable findings
+//! cargo run -p noc-lint -- --format json
+//! ```
+//!
+//! Exit codes are stable: `0` — no unannotated findings; `1` — at least
+//! one unannotated finding; `2` — usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+pub mod annotations;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+
+pub use driver::{lint_root, lint_source, render_json, render_text, Report};
+pub use rules::{Finding, RuleInfo, RULES};

@@ -1,0 +1,94 @@
+//! The `noc-lint` command-line interface.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use noc_lint::{driver, RULES};
+
+const USAGE: &str = "\
+noc-lint — static determinism/hot-path invariant checks for this workspace
+
+USAGE:
+    noc-lint [--root PATH] [--format text|json] [--explain]
+
+OPTIONS:
+    --root PATH     Workspace root to lint (default: this workspace)
+    --format FMT    Output format: text (default) or json
+    --explain       List every rule and the invariant it protects
+    -h, --help      Show this help
+
+EXIT CODES:
+    0  no unannotated findings
+    1  at least one unannotated finding
+    2  usage or I/O error";
+
+enum Format {
+    Text,
+    Json,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root needs a path"),
+            },
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => return usage_error(&format!("--format needs text|json, got {other:?}")),
+            },
+            "--explain" => {
+                for rule in RULES {
+                    println!("{:<22} {}", rule.name, rule.invariant);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    // Default to the workspace this binary was built from, falling back
+    // to the current directory when that tree is gone (e.g. a relocated
+    // artifact).
+    let root = root.unwrap_or_else(|| {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        match manifest.parent().and_then(|p| p.parent()) {
+            Some(ws) if ws.join("Cargo.toml").exists() => ws.to_path_buf(),
+            _ => PathBuf::from("."),
+        }
+    });
+
+    match driver::lint_root(&root) {
+        Ok(report) => {
+            match format {
+                Format::Text => print!("{}", driver::render_text(&report)),
+                Format::Json => print!("{}", driver::render_json(&report)),
+            }
+            if report.unallowed() == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("noc-lint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("noc-lint: {message}\n\n{USAGE}");
+    ExitCode::from(2)
+}

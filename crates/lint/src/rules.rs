@@ -1,0 +1,490 @@
+//! The repo-specific invariant rules.
+//!
+//! Every rule encodes one determinism or hot-path invariant of the
+//! simulator (see DESIGN.md §10). Rules are purely lexical: they match
+//! significant-token patterns produced by [`crate::lexer`], scoped by
+//! workspace-relative path, with findings suppressible only through the
+//! reasoned [`crate::annotations`] grammar.
+
+use crate::lexer::{Token, TokenKind};
+
+/// One reported (or suppressed) rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (kebab-case, stable across releases).
+    pub rule: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub column: usize,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// True when a reasoned allow annotation covers this finding.
+    pub allowed: bool,
+    /// The annotation's reason, when allowed.
+    pub reason: Option<String>,
+}
+
+/// Static description of a rule, used by `--explain` output and docs.
+pub struct RuleInfo {
+    pub name: &'static str,
+    pub invariant: &'static str,
+}
+
+/// Every rule the engine knows, in reporting order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        name: "ambient-rng",
+        invariant: "all randomness flows from the run seed: no thread_rng/from_entropy/OsRng \
+                    and no ad-hoc seed arithmetic outside stochastic_noc::seed",
+    },
+    RuleInfo {
+        name: "nondeterministic-time",
+        invariant: "simulation crates never read wall-clock time (Instant::now/SystemTime::now); \
+                    rounds are the only clock",
+    },
+    RuleInfo {
+        name: "map-iteration-order",
+        invariant: "crates that feed reports never declare HashMap/HashSet: iteration order \
+                    would vary run-to-run; use BTreeMap/BTreeSet or annotate a never-iterated use",
+    },
+    RuleInfo {
+        name: "hot-path-panic",
+        invariant: "per-round engine paths (engine.rs, send_buffer.rs, injector.rs) carry no \
+                    unwrap/expect/panic!",
+    },
+    RuleInfo {
+        name: "stdout-in-lib",
+        invariant: "library crates never print to stdout/stderr; observability goes through \
+                    the event sink",
+    },
+    RuleInfo {
+        name: "unsafe-audit",
+        invariant: "every crate root carries #![forbid(unsafe_code)] and no file uses unsafe",
+    },
+];
+
+/// Crates whose output feeds figure tables and golden reports.
+const REPORT_CRATES: &[&str] = &["crates/core/", "crates/apps/", "crates/experiments/"];
+
+/// Library crates that must stay silent on stdout/stderr.
+const LIB_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/fabric/",
+    "crates/faults/",
+    "crates/crc/",
+    "crates/energy/",
+    "crates/bus/",
+    "crates/dsp/",
+    "crates/apps/",
+    "crates/diversity/",
+];
+
+/// Files forming the per-round hot path.
+const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/send_buffer.rs",
+    "crates/faults/src/injector.rs",
+];
+
+/// Identifiers that consult ambient entropy.
+const AMBIENT_RNG_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng", "ThreadRng"];
+
+/// Arithmetic operators that make a seed expression "ad-hoc".
+const SEED_OPS: &[&str] = &["+", "-", "*", "^", "%"];
+
+/// Macros that write to stdout/stderr.
+const PRINT_MACROS: &[&str] = &["println", "eprintln", "print", "eprint", "dbg"];
+
+/// Runs every applicable rule over one file's significant tokens.
+///
+/// `tokens` must already have `#[cfg(test)]`/`#[test]` items filtered
+/// out; `all_tokens` is the unfiltered stream (crate-root attributes
+/// live outside test items, but the unsafe-audit presence check wants
+/// the full file).
+pub fn check_file(rel_path: &str, tokens: &[Token], all_tokens: &[Token]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    ambient_rng(rel_path, tokens, &mut findings);
+    nondeterministic_time(rel_path, tokens, &mut findings);
+    map_iteration_order(rel_path, tokens, &mut findings);
+    hot_path_panic(rel_path, tokens, &mut findings);
+    stdout_in_lib(rel_path, tokens, &mut findings);
+    unsafe_audit(rel_path, tokens, all_tokens, &mut findings);
+    findings
+}
+
+fn finding(
+    rule: &'static str,
+    rel_path: &str,
+    tok_line: usize,
+    col: usize,
+    message: String,
+) -> Finding {
+    Finding {
+        rule,
+        file: rel_path.to_string(),
+        line: tok_line,
+        column: col,
+        message,
+        allowed: false,
+        reason: None,
+    }
+}
+
+fn is_ident(tok: &Token, text: &str) -> bool {
+    tok.kind == TokenKind::Ident && tok.text == text
+}
+
+fn ambient_rng(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    // The seed module is the one sanctioned home of seed arithmetic.
+    if rel_path == "crates/core/src/seed.rs" {
+        return;
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Ident {
+            continue;
+        }
+        if AMBIENT_RNG_IDENTS.contains(&tok.text.as_str()) {
+            findings.push(finding(
+                "ambient-rng",
+                rel_path,
+                tok.line,
+                tok.column,
+                format!(
+                    "`{}` consults ambient entropy; derive every stream from the run seed \
+                     via stochastic_noc::seed",
+                    tok.text
+                ),
+            ));
+            continue;
+        }
+        // `rand::random` free function.
+        if is_ident(tok, "rand")
+            && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+            && tokens.get(i + 2).is_some_and(|t| is_ident(t, "random"))
+        {
+            findings.push(finding(
+                "ambient-rng",
+                rel_path,
+                tok.line,
+                tok.column,
+                "`rand::random` consults ambient entropy; derive every stream from the run seed"
+                    .to_string(),
+            ));
+            continue;
+        }
+        // Ad-hoc seed arithmetic: `<seed ident> <op> [=] <number|ident>`.
+        if tok.text.to_ascii_lowercase().contains("seed") {
+            let Some(op) = tokens.get(i + 1) else {
+                continue;
+            };
+            if op.kind != TokenKind::Punct || !SEED_OPS.contains(&op.text.as_str()) {
+                continue;
+            }
+            let mut j = i + 2;
+            if tokens.get(j).is_some_and(|t| t.text == "=") {
+                j += 1; // compound assignment: `seed += k`
+            }
+            if tokens
+                .get(j)
+                .is_some_and(|t| matches!(t.kind, TokenKind::Number | TokenKind::Ident))
+            {
+                findings.push(finding(
+                    "ambient-rng",
+                    rel_path,
+                    op.line,
+                    op.column,
+                    format!(
+                        "ad-hoc seed arithmetic `{} {} …` correlates trial streams; use \
+                         stochastic_noc::seed::derive_trial_seed / derive_labeled_seed",
+                        tok.text, op.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+fn nondeterministic_time(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    // The bench harness and the linter itself measure wall-clock time by
+    // design; everything else in the workspace is simulation code.
+    if rel_path.starts_with("crates/bench/") || rel_path.starts_with("crates/lint/") {
+        return;
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        let clock = (tok.kind == TokenKind::Ident
+            && (tok.text == "Instant" || tok.text == "SystemTime"))
+            && tokens.get(i + 1).is_some_and(|t| t.text == "::")
+            && tokens.get(i + 2).is_some_and(|t| is_ident(t, "now"));
+        if clock {
+            findings.push(finding(
+                "nondeterministic-time",
+                rel_path,
+                tok.line,
+                tok.column,
+                format!(
+                    "`{}::now()` reads the wall clock; simulation time is the round counter",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn map_iteration_order(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !REPORT_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return;
+    }
+    let mut in_use = false;
+    for tok in tokens {
+        if is_ident(tok, "use") {
+            in_use = true;
+        } else if tok.text == ";" {
+            in_use = false;
+        }
+        // Import lines are moot without a use site, so only declarations
+        // and expressions are flagged.
+        if in_use {
+            continue;
+        }
+        if tok.kind == TokenKind::Ident && (tok.text == "HashMap" || tok.text == "HashSet") {
+            findings.push(finding(
+                "map-iteration-order",
+                rel_path,
+                tok.line,
+                tok.column,
+                format!(
+                    "`{}` iteration order is nondeterministic and this crate feeds reports; \
+                     use BTree{} or annotate a provably never-iterated use",
+                    tok.text,
+                    if tok.text == "HashMap" { "Map" } else { "Set" },
+                ),
+            ));
+        }
+    }
+}
+
+fn hot_path_panic(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !HOT_PATH_FILES.contains(&rel_path) {
+        return;
+    }
+    for tok in tokens {
+        if tok.kind == TokenKind::Ident
+            && matches!(tok.text.as_str(), "unwrap" | "expect" | "panic")
+        {
+            findings.push(finding(
+                "hot-path-panic",
+                rel_path,
+                tok.line,
+                tok.column,
+                format!(
+                    "`{}` in a per-round path can abort a trial mid-sweep; return a Result, \
+                     make the state unrepresentable, or annotate a build-time-only site",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+fn stdout_in_lib(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    if !LIB_CRATES.iter().any(|c| rel_path.starts_with(c)) {
+        return;
+    }
+    for (i, tok) in tokens.iter().enumerate() {
+        if tok.kind == TokenKind::Ident
+            && PRINT_MACROS.contains(&tok.text.as_str())
+            && tokens.get(i + 1).is_some_and(|t| t.text == "!")
+        {
+            findings.push(finding(
+                "stdout-in-lib",
+                rel_path,
+                tok.line,
+                tok.column,
+                format!(
+                    "`{}!` writes to the process streams from a library crate; emit a \
+                     SimEvent through the event sink instead",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// Is this workspace-relative path a crate root (lib, main, or bin)?
+fn is_crate_root(rel_path: &str) -> bool {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    matches!(
+        parts.as_slice(),
+        ["src", "lib.rs" | "main.rs"]
+            | ["src", "bin", _]
+            | ["crates", _, "src", "lib.rs" | "main.rs"]
+            | ["crates", _, "src", "bin", _]
+    )
+}
+
+/// Does the token stream contain `forbid ( … unsafe_code … )`?
+fn has_forbid_unsafe(tokens: &[Token]) -> bool {
+    for (i, tok) in tokens.iter().enumerate() {
+        if !is_ident(tok, "forbid") {
+            continue;
+        }
+        if tokens.get(i + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
+        for t in &tokens[i + 2..] {
+            if t.text == ")" {
+                break;
+            }
+            if is_ident(t, "unsafe_code") {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+fn unsafe_audit(
+    rel_path: &str,
+    tokens: &[Token],
+    all_tokens: &[Token],
+    findings: &mut Vec<Finding>,
+) {
+    for tok in tokens {
+        if is_ident(tok, "unsafe") {
+            findings.push(finding(
+                "unsafe-audit",
+                rel_path,
+                tok.line,
+                tok.column,
+                "`unsafe` has no place in the simulator workspace".to_string(),
+            ));
+        }
+    }
+    if is_crate_root(rel_path) && !has_forbid_unsafe(all_tokens) {
+        findings.push(finding(
+            "unsafe-audit",
+            rel_path,
+            1,
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn run(rel_path: &str, src: &str) -> Vec<Finding> {
+        let lexed = lex(src);
+        check_file(rel_path, &lexed.tokens, &lexed.tokens)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.rule).collect()
+    }
+
+    #[test]
+    fn thread_rng_is_flagged_anywhere() {
+        let f = run("crates/faults/src/rng.rs", "let r = rand::thread_rng();");
+        assert_eq!(rules_of(&f), ["ambient-rng"]);
+    }
+
+    #[test]
+    fn seed_arithmetic_is_flagged_outside_seed_module() {
+        let f = run(
+            "crates/core/src/tuning.rs",
+            "let s = base_seed * 1_000_003 + trial;",
+        );
+        assert!(rules_of(&f).contains(&"ambient-rng"));
+        let ok = run("crates/core/src/seed.rs", "let s = base_seed * 7;");
+        assert!(ok.is_empty(), "seed module is exempt: {ok:?}");
+    }
+
+    #[test]
+    fn seed_in_strings_and_comments_is_ignored() {
+        let f = run(
+            "crates/core/src/x.rs",
+            "// seed * 1_000_003 was the bug\nlet s = \"seed + 1\";",
+        );
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn instant_now_flagged_except_in_bench() {
+        let src = "let t = Instant::now();";
+        assert_eq!(
+            rules_of(&run("crates/experiments/src/runner.rs", src)),
+            ["nondeterministic-time"]
+        );
+        // The bench harness is exempt (crate-root audit still applies,
+        // so compare rule-by-rule).
+        assert!(
+            !rules_of(&run("crates/bench/src/bin/perf_baseline.rs", src))
+                .contains(&"nondeterministic-time")
+        );
+    }
+
+    #[test]
+    fn hashmap_flagged_only_in_report_crates_and_not_in_use_lines() {
+        let decl = "struct S { m: HashMap<u32, u32> }";
+        assert_eq!(
+            rules_of(&run("crates/core/src/metrics.rs", decl)),
+            ["map-iteration-order"]
+        );
+        assert!(run("crates/fabric/src/node.rs", decl).is_empty());
+        let import = "use std::collections::HashMap;\n";
+        assert!(run("crates/core/src/metrics.rs", import).is_empty());
+    }
+
+    #[test]
+    fn hot_path_panics_flagged_only_in_hot_files() {
+        let src = "let v = x.unwrap(); y.expect(\"msg\"); panic!(\"boom\");";
+        assert_eq!(
+            rules_of(&run("crates/core/src/engine.rs", src)),
+            ["hot-path-panic", "hot-path-panic", "hot-path-panic"]
+        );
+        assert!(run("crates/core/src/metrics.rs", src).is_empty());
+        // unwrap_or_else is a different identifier, never flagged.
+        let soft = "let v = x.unwrap_or_else(Vec::new).unwrap_or(0);";
+        assert!(run("crates/core/src/engine.rs", soft).is_empty());
+    }
+
+    #[test]
+    fn println_flagged_in_lib_crates_only() {
+        let src = "println!(\"x\"); eprintln!(\"y\");";
+        assert_eq!(
+            rules_of(&run("crates/fabric/src/port.rs", src)),
+            ["stdout-in-lib", "stdout-in-lib"]
+        );
+        assert!(!rules_of(&run("crates/experiments/src/main.rs", src)).contains(&"stdout-in-lib"));
+    }
+
+    #[test]
+    fn crate_roots_require_forbid_unsafe() {
+        assert_eq!(
+            rules_of(&run("crates/core/src/lib.rs", "pub mod engine;")),
+            ["unsafe-audit"]
+        );
+        assert!(run(
+            "crates/core/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod engine;"
+        )
+        .is_empty());
+        // Non-root files carry no attribute obligation.
+        assert!(run("crates/core/src/engine.rs", "pub fn f() {}").is_empty());
+    }
+
+    #[test]
+    fn unsafe_keyword_is_flagged_everywhere() {
+        let f = run(
+            "crates/dsp/src/x.rs",
+            "unsafe { core::hint::unreachable_unchecked() }",
+        );
+        assert_eq!(rules_of(&f), ["unsafe-audit"]);
+    }
+}

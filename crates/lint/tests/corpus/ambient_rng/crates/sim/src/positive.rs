@@ -1,0 +1,10 @@
+//! True positive: ambient entropy and ad-hoc seed arithmetic.
+
+pub fn entropy() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn trial_seed(seed: u64, trial: u64) -> u64 {
+    seed + trial
+}

@@ -1,0 +1,5 @@
+//! True positive: panicking call on the per-round hot path.
+
+pub fn pop_frame(queue: &mut Vec<u8>) -> u8 {
+    queue.pop().unwrap()
+}

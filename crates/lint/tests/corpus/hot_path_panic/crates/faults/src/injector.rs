@@ -1,0 +1,6 @@
+//! Allowlisted negative: constructor-time validation panic.
+
+pub fn checked(model: Result<u32, String>) -> u32 {
+    // noc-lint: allow(hot-path-panic, reason = "constructor-time validation; runs once, outside the per-round loop")
+    model.unwrap_or_else(|e| panic!("invalid model: {e}"))
+}

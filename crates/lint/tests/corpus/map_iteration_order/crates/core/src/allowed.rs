@@ -1,0 +1,12 @@
+//! Allowlisted negative: membership-only hash set, never iterated.
+
+pub struct DupFilter {
+    // noc-lint: allow(map-iteration-order, reason = "membership-only duplicate filter; no iteration, so order cannot leak")
+    seen: std::collections::HashSet<u64>,
+}
+
+impl DupFilter {
+    pub fn insert(&mut self, id: u64) -> bool {
+        self.seen.insert(id)
+    }
+}

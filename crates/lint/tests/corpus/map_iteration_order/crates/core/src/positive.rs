@@ -1,0 +1,7 @@
+//! True positive: hash-ordered map declared in a report-feeding crate.
+
+use std::collections::HashMap;
+
+pub struct Tally {
+    pub counts: HashMap<u32, u64>,
+}

@@ -1,0 +1,7 @@
+//! Allowlisted negative: wall-clock read for progress logging only.
+
+pub fn elapsed_secs() -> f64 {
+    // noc-lint: allow(nondeterministic-time, reason = "wall-clock feeds stderr progress only, never a result table")
+    let start = std::time::Instant::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+//! True positive: wall-clock read in simulation code.
+
+pub fn stamp() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,7 @@
+//! Allowlisted negative: last-resort diagnostics before an abort.
+
+pub fn fatal(msg: &str) -> ! {
+    // noc-lint: allow(stdout-in-lib, reason = "last words before abort; no sink can observe a process that is gone")
+    eprintln!("fatal: {msg}");
+    std::process::abort()
+}

@@ -1,0 +1,5 @@
+//! True positive: printing from a library crate.
+
+pub fn debug_dump(x: u32) {
+    println!("x = {x}");
+}

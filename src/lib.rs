@@ -13,6 +13,8 @@
 //! assert_eq!(sim.node_count(), 16);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use noc_apps;
 pub use noc_bus;
 pub use noc_crc;
