@@ -25,7 +25,11 @@ use noc_fabric::{
     ClockDomain, Grid2d, IpContext, IpCore, LinkId, Message, MessageId, NodeId, NullIp, Topology,
     WireCodec,
 };
-use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, FaultInjector, FaultModel, OverflowMode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
@@ -33,6 +37,7 @@ use std::sync::Arc;
 use crate::config::StochasticConfig;
 use crate::events::{DropSite, EventSink, NullSink, SimEvent};
 use crate::metrics::{MessageRecord, SimulationReport};
+use crate::seed::{derive_labeled_seed, derive_trial_seed};
 use crate::send_buffer::{InsertOutcome, SendBuffer};
 
 /// A frame in flight on a link.
@@ -148,6 +153,7 @@ pub struct SimulationBuilder {
     config: StochasticConfig,
     fault_model: FaultModel,
     crash_schedule: CrashSchedule,
+    adversary: AdversarialScenario,
     seed: u64,
     tech: TechnologyLibrary,
     codec: WireCodec,
@@ -166,6 +172,7 @@ impl SimulationBuilder {
             config: StochasticConfig::default(),
             fault_model: FaultModel::none(),
             crash_schedule: CrashSchedule::new(),
+            adversary: AdversarialScenario::benign(),
             seed: 0,
             tech: TechnologyLibrary::NOC_LINK_0_25UM,
             codec: WireCodec::default(),
@@ -208,6 +215,20 @@ impl SimulationBuilder {
     /// Sets explicit crash events.
     pub fn crash_schedule(mut self, schedule: CrashSchedule) -> Self {
         self.crash_schedule = schedule;
+        self
+    }
+
+    /// Installs an adversarial scenario: partitions, permanent death,
+    /// link chaos and Byzantine tiles.
+    ///
+    /// The default is [`AdversarialScenario::benign`], which changes
+    /// nothing — in particular it consumes no RNG draws, so every run
+    /// and digest of a benign build is byte-identical to a build that
+    /// never called this method. Active mechanisms draw from dedicated
+    /// per-link/per-tile streams derived from the base seed, leaving
+    /// the main fault stream untouched.
+    pub fn adversary(mut self, scenario: AdversarialScenario) -> Self {
+        self.adversary = scenario;
         self
     }
 
@@ -312,11 +333,53 @@ impl SimulationBuilder {
             .validate()
             // noc-lint: allow(hot-path-panic, reason = "builder-time validation; runs once before the round loop, never per step")
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        self.adversary
+            .validate()
+            // noc-lint: allow(hot-path-panic, reason = "builder-time validation; runs once before the round loop, never per step")
+            .unwrap_or_else(|e| panic!("invalid adversarial scenario: {e}"));
         let mut injector = FaultInjector::new(self.fault_model, self.seed);
         let n = self.topology.node_count();
         let m = self.topology.link_count();
         let tiles_alive = injector.sample_alive_tiles(n);
         let links_alive = injector.sample_alive_links(m);
+        // Permanent adversarial death folds into the crash schedule:
+        // identical semantics (dead from round r, never heals), zero new
+        // hot-path state.
+        let mut crash_schedule = self.crash_schedule;
+        for (tile, at) in self.adversary.permanent.tile_events() {
+            crash_schedule.kill_tile(tile, at);
+        }
+        for (link, at) in self.adversary.permanent.link_events() {
+            crash_schedule.kill_link(link, at);
+        }
+        // Adversarial randomness never touches the injector's stream:
+        // chaos draws come from one dedicated stream per link, Byzantine
+        // activations from one per compromised tile, all derived from the
+        // base seed. Inactive mechanisms allocate no streams at all.
+        let chaos_streams: Vec<StdRng> = if self.adversary.chaos.is_active() {
+            let base = derive_labeled_seed(self.seed, "adversary-link");
+            (0..m)
+                .map(|link| StdRng::seed_from_u64(derive_trial_seed(base, link as u64)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let byz_streams: BTreeMap<usize, StdRng> = if self.adversary.byzantine.is_active() {
+            let base = derive_labeled_seed(self.seed, "adversary-tile");
+            self.adversary
+                .byzantine
+                .tiles
+                .iter()
+                .map(|&tile| {
+                    (
+                        tile,
+                        StdRng::seed_from_u64(derive_trial_seed(base, tile as u64)),
+                    )
+                })
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         let ips: Vec<Box<dyn IpCore>> = self
             .ips
             .into_iter()
@@ -341,7 +404,11 @@ impl SimulationBuilder {
             links_alive,
             topology: self.topology,
             config: self.config,
-            crash_schedule: self.crash_schedule,
+            crash_schedule,
+            adversary: self.adversary,
+            chaos_streams,
+            byz_streams,
+            byz_last_frame: vec![None; n],
             injector,
             codec: self.codec,
             ips,
@@ -368,6 +435,15 @@ pub struct Simulation<S: EventSink = NullSink> {
     topology: Topology,
     config: StochasticConfig,
     crash_schedule: CrashSchedule,
+    adversary: AdversarialScenario,
+    /// One chaos RNG stream per link; empty when chaos is inactive, so
+    /// benign builds index nothing and draw nothing.
+    chaos_streams: Vec<StdRng>,
+    /// One activation/forgery RNG stream per compromised tile.
+    byz_streams: BTreeMap<usize, StdRng>,
+    /// The frame each Byzantine tile most recently forwarded
+    /// legitimately — the replay attack's ammunition.
+    byz_last_frame: Vec<Option<(MessageId, Arc<[u8]>)>>,
     injector: FaultInjector,
     codec: WireCodec,
     tiles_alive: Vec<bool>,
@@ -799,6 +875,10 @@ impl<S: EventSink> Simulation<S> {
                 ref topology,
                 ref config,
                 ref crash_schedule,
+                ref adversary,
+                ref mut chaos_streams,
+                ref mut byz_streams,
+                ref mut byz_last_frame,
                 ref mut injector,
                 ref codec,
                 ref tiles_alive,
@@ -855,44 +935,100 @@ impl<S: EventSink> Simulation<S> {
                         tile: node,
                         message: message.id,
                     });
+                    if byz_streams.contains_key(&tile) {
+                        byz_last_frame[tile] = Some((message.id, Arc::clone(&frame)));
+                    }
                     for &link_id in topology.out_links(node) {
                         if p < 1.0 && !injector.rng().gen_bool_p(p) {
                             continue;
                         }
-                        stats.transmissions += 1;
-                        report.packets_sent += 1;
-                        report.bits_sent += Bits((frame.len() * 8) as u64);
-                        let to = topology.link(link_id).to;
-                        sink.emit(SimEvent::FrameSent {
+                        transmit_frame(
+                            topology,
+                            links_alive,
+                            crash_schedule,
+                            adversary,
+                            injector,
+                            chaos_streams,
+                            report,
+                            sink,
+                            &mut stats,
+                            inbox_next,
+                            inbox_later,
                             round,
-                            from: node,
-                            link: link_id,
-                            to,
-                            message: message.id,
-                        });
-                        let link_dead = !links_alive[link_id.index()]
-                            || crash_schedule.link_dead(link_id.index(), round);
-                        if link_dead {
-                            report.crash_drops += 1;
-                            sink.emit(SimEvent::CrashDrop {
-                                round,
-                                site: DropSite::Link(link_id),
-                            });
-                            continue;
-                        }
-                        let mut out = Frame {
-                            bytes: Arc::clone(&frame),
-                            scrambled: false,
-                            via: Some(link_id),
-                        };
-                        if injector.upset_occurs() {
-                            injector.scramble_shared(&mut out.bytes);
-                            out.scrambled = true;
-                        }
-                        if slipped {
-                            inbox_later[to.index()].push(out);
-                        } else {
-                            inbox_next[to.index()].push(out);
+                            node,
+                            link_id,
+                            message.id,
+                            &frame,
+                            slipped,
+                        );
+                    }
+                }
+                // A compromised tile attacks after its legitimate service:
+                // one activation draw per armed round (from the tile's own
+                // stream), then a forged equivocation or a stale replay is
+                // flooded to *every* output link, ignoring the protocol's
+                // forwarding probability.
+                if adversary.byzantine.armed(tile, round) {
+                    if let Some(stream) = byz_streams.get_mut(&tile) {
+                        if stream.gen_bool_p(adversary.byzantine.activation_probability) {
+                            let attack = match adversary.byzantine.mode {
+                                ByzantineMode::Forge => {
+                                    let victim = &msgs[start % len];
+                                    let mut payload = victim.payload.to_vec();
+                                    if payload.is_empty() {
+                                        None
+                                    } else {
+                                        use rand::Rng;
+                                        let at = stream.gen_range(0..payload.len());
+                                        let mask = stream.gen_range(1..=255u64) as u8;
+                                        payload[at] ^= mask;
+                                        let forged = Message::new(
+                                            victim.id,
+                                            victim.source,
+                                            victim.destination,
+                                            victim.ttl,
+                                            payload,
+                                        );
+                                        let frame: Arc<[u8]> = codec.encode(&forged).into();
+                                        report.byzantine_forges += 1;
+                                        sink.emit(SimEvent::ByzantineForge {
+                                            round,
+                                            tile: node,
+                                            message: victim.id,
+                                        });
+                                        Some((victim.id, frame))
+                                    }
+                                }
+                                ByzantineMode::Replay => {
+                                    byz_last_frame[tile].clone().inspect(|(_, _)| {
+                                        report.byzantine_replays += 1;
+                                        sink.emit(SimEvent::ByzantineReplay { round, tile: node });
+                                    })
+                                }
+                            };
+                            if let Some((id, frame)) = attack {
+                                for &link_id in topology.out_links(node) {
+                                    transmit_frame(
+                                        topology,
+                                        links_alive,
+                                        crash_schedule,
+                                        adversary,
+                                        injector,
+                                        chaos_streams,
+                                        report,
+                                        sink,
+                                        &mut stats,
+                                        inbox_next,
+                                        inbox_later,
+                                        round,
+                                        node,
+                                        link_id,
+                                        id,
+                                        &frame,
+                                        slipped,
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -946,6 +1082,113 @@ impl<S: EventSink> Simulation<S> {
         }
         self.buffers[source.index()].insert(message);
         *self.informed.entry(id).or_insert(0) += 1;
+    }
+}
+
+/// Transmits one frame onto `link_id` during the forward phase: counts
+/// it, swallows it on a dead or partitioned link, scrambles it on an
+/// upset, applies chaos jitter from the link's dedicated stream, and
+/// files it into the destination inbox (`inbox_later` when the sender
+/// slipped or the link delayed; queue-front when the link reordered).
+///
+/// Factoring the per-hop tail into one function keeps the legitimate
+/// forwarding loop and the Byzantine emission loop byte-identical in
+/// their draw order — both paths traverse exactly the same decision
+/// sequence per link.
+#[allow(clippy::too_many_arguments)] // the forward phase's split borrows, passed explicitly
+fn transmit_frame<S: EventSink>(
+    topology: &Topology,
+    links_alive: &[bool],
+    crash_schedule: &CrashSchedule,
+    adversary: &AdversarialScenario,
+    injector: &mut FaultInjector,
+    chaos_streams: &mut [StdRng],
+    report: &mut SimulationReport,
+    sink: &mut S,
+    stats: &mut RoundStats,
+    inbox_next: &mut [Vec<Frame>],
+    inbox_later: &mut [Vec<Frame>],
+    round: u64,
+    from: NodeId,
+    link_id: LinkId,
+    message: MessageId,
+    frame: &Arc<[u8]>,
+    slipped: bool,
+) {
+    stats.transmissions += 1;
+    report.packets_sent += 1;
+    report.bits_sent += Bits((frame.len() * 8) as u64);
+    let to = topology.link(link_id).to;
+    sink.emit(SimEvent::FrameSent {
+        round,
+        from,
+        link: link_id,
+        to,
+        message,
+    });
+    let link_dead =
+        !links_alive[link_id.index()] || crash_schedule.link_dead(link_id.index(), round);
+    if link_dead {
+        report.crash_drops += 1;
+        sink.emit(SimEvent::CrashDrop {
+            round,
+            site: DropSite::Link(link_id),
+        });
+        return;
+    }
+    // Partition cuts are pure schedule lookups — no RNG draw — so a
+    // benign scenario leaves the main fault stream untouched.
+    if adversary.partitions.link_cut(link_id.index(), round) {
+        report.partition_drops += 1;
+        sink.emit(SimEvent::PartitionDrop {
+            round,
+            link: link_id,
+        });
+        return;
+    }
+    let mut out = Frame {
+        bytes: Arc::clone(frame),
+        scrambled: false,
+        via: Some(link_id),
+    };
+    if injector.upset_occurs() {
+        injector.scramble_shared(&mut out.bytes);
+        out.scrambled = true;
+    }
+    let mut held = slipped;
+    let mut front = false;
+    if !chaos_streams.is_empty() {
+        // Fixed draw order per surviving frame: delay first, then
+        // reorder. `gen_bool_p` short-circuits p = 0 without a draw, so
+        // a delay-only (or reorder-only) configuration consumes exactly
+        // one draw per frame from the link's stream.
+        let stream = &mut chaos_streams[link_id.index()];
+        if stream.gen_bool_p(adversary.chaos.delay_probability) {
+            report.adversarial_delays += 1;
+            sink.emit(SimEvent::AdversarialDelay {
+                round,
+                link: link_id,
+            });
+            held = true;
+        }
+        if stream.gen_bool_p(adversary.chaos.reorder_probability) {
+            report.adversarial_reorders += 1;
+            sink.emit(SimEvent::AdversarialReorder {
+                round,
+                link: link_id,
+            });
+            front = true;
+        }
+    }
+    let inbox = if held {
+        &mut inbox_later[to.index()]
+    } else {
+        &mut inbox_next[to.index()]
+    };
+    if front {
+        inbox.insert(0, out);
+    } else {
+        inbox.push(out);
     }
 }
 

@@ -146,6 +146,47 @@ pub enum SimEvent {
         /// Originating tile.
         source: NodeId,
     },
+    /// A frame was forwarded onto a link severed by an active partition
+    /// cut and lost (the sender spent the transmission energy).
+    PartitionDrop {
+        /// Round of the drop.
+        round: u64,
+        /// The severed link.
+        link: LinkId,
+    },
+    /// A Byzantine tile emitted a forged, CRC-valid equivocation of a
+    /// buffered message.
+    ByzantineForge {
+        /// Round of the forgery.
+        round: u64,
+        /// The compromised tile.
+        tile: NodeId,
+        /// The message whose payload was forged.
+        message: MessageId,
+    },
+    /// A Byzantine tile replayed the frame it last forwarded
+    /// legitimately.
+    ByzantineReplay {
+        /// Round of the replay.
+        round: u64,
+        /// The compromised tile.
+        tile: NodeId,
+    },
+    /// Adversarial latency jitter held a frame back one round.
+    AdversarialDelay {
+        /// Round of transmission.
+        round: u64,
+        /// The jittering link.
+        link: LinkId,
+    },
+    /// Adversarial reordering pushed a frame to the front of its
+    /// destination's receive queue.
+    AdversarialReorder {
+        /// Round of transmission.
+        round: u64,
+        /// The reordering link.
+        link: LinkId,
+    },
 }
 
 impl SimEvent {
@@ -161,7 +202,12 @@ impl SimEvent {
             | SimEvent::DuplicateDrop { round, .. }
             | SimEvent::TtlExpiry { round, .. }
             | SimEvent::ClockSlip { round, .. }
-            | SimEvent::Delivery { round, .. } => round,
+            | SimEvent::Delivery { round, .. }
+            | SimEvent::PartitionDrop { round, .. }
+            | SimEvent::ByzantineForge { round, .. }
+            | SimEvent::ByzantineReplay { round, .. }
+            | SimEvent::AdversarialDelay { round, .. }
+            | SimEvent::AdversarialReorder { round, .. } => round,
         }
     }
 
@@ -179,6 +225,11 @@ impl SimEvent {
             SimEvent::TtlExpiry { .. } => "ttl_expiry",
             SimEvent::ClockSlip { .. } => "clock_slip",
             SimEvent::Delivery { .. } => "delivery",
+            SimEvent::PartitionDrop { .. } => "partition_drop",
+            SimEvent::ByzantineForge { .. } => "byzantine_forge",
+            SimEvent::ByzantineReplay { .. } => "byzantine_replay",
+            SimEvent::AdversarialDelay { .. } => "adversarial_delay",
+            SimEvent::AdversarialReorder { .. } => "adversarial_reorder",
         }
     }
 }
@@ -251,6 +302,16 @@ pub struct EventCounts {
     pub clock_slips: u64,
     /// First deliveries to destination IPs.
     pub deliveries: u64,
+    /// Frames lost to active partition cuts.
+    pub partition_drops: u64,
+    /// Forged CRC-valid frames emitted by Byzantine tiles.
+    pub byzantine_forges: u64,
+    /// Stale frames replayed by Byzantine tiles.
+    pub byzantine_replays: u64,
+    /// Frames delayed one round by adversarial jitter.
+    pub adversarial_delays: u64,
+    /// Frames that jumped a receive queue through adversarial reordering.
+    pub adversarial_reorders: u64,
 }
 
 impl EventCounts {
@@ -266,6 +327,11 @@ impl EventCounts {
         self.ttl_expirations += other.ttl_expirations;
         self.clock_slips += other.clock_slips;
         self.deliveries += other.deliveries;
+        self.partition_drops += other.partition_drops;
+        self.byzantine_forges += other.byzantine_forges;
+        self.byzantine_replays += other.byzantine_replays;
+        self.adversarial_delays += other.adversarial_delays;
+        self.adversarial_reorders += other.adversarial_reorders;
     }
 }
 
@@ -353,9 +419,14 @@ impl CounterSink {
         }
         // Tile-axis frames_sent already covers every transmission; the
         // link table is a second view of the same events, so only the
-        // link-attributed crash drops (absent from the tile axis) fold in.
+        // counters attributed exclusively to links (absent from the tile
+        // axis) fold in: crash drops on dead links, partition drops, and
+        // adversarial delay/reorder jitter.
         for l in &self.links {
             sum.crash_drops += l.crash_drops;
+            sum.partition_drops += l.partition_drops;
+            sum.adversarial_delays += l.adversarial_delays;
+            sum.adversarial_reorders += l.adversarial_reorders;
         }
         sum
     }
@@ -390,7 +461,7 @@ impl CounterSink {
                 self.totals
             ));
         }
-        let checks: [(&str, u64, u64); 7] = [
+        let checks: [(&str, u64, u64); 12] = [
             ("packets_sent", summed.frames_sent, report.packets_sent),
             (
                 "upsets_detected",
@@ -413,6 +484,31 @@ impl CounterSink {
                 "ttl_expirations",
                 summed.ttl_expirations,
                 report.ttl_expirations,
+            ),
+            (
+                "partition_drops",
+                summed.partition_drops,
+                report.partition_drops,
+            ),
+            (
+                "byzantine_forges",
+                summed.byzantine_forges,
+                report.byzantine_forges,
+            ),
+            (
+                "byzantine_replays",
+                summed.byzantine_replays,
+                report.byzantine_replays,
+            ),
+            (
+                "adversarial_delays",
+                summed.adversarial_delays,
+                report.adversarial_delays,
+            ),
+            (
+                "adversarial_reorders",
+                summed.adversarial_reorders,
+                report.adversarial_reorders,
             ),
         ];
         for (name, events, global) in checks {
@@ -482,6 +578,26 @@ impl EventSink for CounterSink {
             SimEvent::Delivery { tile, .. } => {
                 self.tile(tile).deliveries += 1;
                 self.totals.deliveries += 1;
+            }
+            SimEvent::PartitionDrop { link, .. } => {
+                self.link(link).partition_drops += 1;
+                self.totals.partition_drops += 1;
+            }
+            SimEvent::ByzantineForge { tile, .. } => {
+                self.tile(tile).byzantine_forges += 1;
+                self.totals.byzantine_forges += 1;
+            }
+            SimEvent::ByzantineReplay { tile, .. } => {
+                self.tile(tile).byzantine_replays += 1;
+                self.totals.byzantine_replays += 1;
+            }
+            SimEvent::AdversarialDelay { link, .. } => {
+                self.link(link).adversarial_delays += 1;
+                self.totals.adversarial_delays += 1;
+            }
+            SimEvent::AdversarialReorder { link, .. } => {
+                self.link(link).adversarial_reorders += 1;
+                self.totals.adversarial_reorders += 1;
             }
         }
     }
@@ -638,6 +754,36 @@ impl<W: Write> EventSink for JsonlSink<W> {
                 message.0,
                 source.index(),
             ),
+            SimEvent::PartitionDrop { round, link } => writeln!(
+                self.out,
+                "{{\"event\":\"partition_drop\",\"round\":{round},\"link\":{}}}",
+                link.index(),
+            ),
+            SimEvent::ByzantineForge {
+                round,
+                tile,
+                message,
+            } => writeln!(
+                self.out,
+                "{{\"event\":\"byzantine_forge\",\"round\":{round},\"tile\":{},\"message\":{}}}",
+                tile.index(),
+                message.0,
+            ),
+            SimEvent::ByzantineReplay { round, tile } => writeln!(
+                self.out,
+                "{{\"event\":\"byzantine_replay\",\"round\":{round},\"tile\":{}}}",
+                tile.index(),
+            ),
+            SimEvent::AdversarialDelay { round, link } => writeln!(
+                self.out,
+                "{{\"event\":\"adversarial_delay\",\"round\":{round},\"link\":{}}}",
+                link.index(),
+            ),
+            SimEvent::AdversarialReorder { round, link } => writeln!(
+                self.out,
+                "{{\"event\":\"adversarial_reorder\",\"round\":{round},\"link\":{}}}",
+                link.index(),
+            ),
         };
         result.expect("write JSONL event line");
         self.written += 1;
@@ -749,6 +895,88 @@ mod tests {
         assert_eq!(
             lines[2],
             "{\"event\":\"delivery\",\"round\":5,\"tile\":2,\"message\":0,\"source\":1}"
+        );
+    }
+
+    #[test]
+    fn adversarial_events_attribute_to_their_axis() {
+        let mut sink = CounterSink::new();
+        sink.emit(SimEvent::PartitionDrop {
+            round: 1,
+            link: LinkId(3),
+        });
+        sink.emit(SimEvent::AdversarialDelay {
+            round: 1,
+            link: LinkId(3),
+        });
+        sink.emit(SimEvent::AdversarialReorder {
+            round: 2,
+            link: LinkId(5),
+        });
+        sink.emit(SimEvent::ByzantineForge {
+            round: 2,
+            tile: NodeId(4),
+            message: MessageId(7),
+        });
+        sink.emit(SimEvent::ByzantineReplay {
+            round: 3,
+            tile: NodeId(4),
+        });
+        assert_eq!(sink.links()[3].partition_drops, 1);
+        assert_eq!(sink.links()[3].adversarial_delays, 1);
+        assert_eq!(sink.links()[5].adversarial_reorders, 1);
+        assert_eq!(sink.tiles()[4].byzantine_forges, 1);
+        assert_eq!(sink.tiles()[4].byzantine_replays, 1);
+        assert_eq!(sink.totals().partition_drops, 1);
+        assert_eq!(sink.totals().byzantine_forges, 1);
+        assert_eq!(sink.summed_from_locations(), *sink.totals());
+    }
+
+    #[test]
+    fn adversarial_jsonl_lines_are_stable() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(SimEvent::PartitionDrop {
+            round: 2,
+            link: LinkId(9),
+        });
+        sink.emit(SimEvent::ByzantineForge {
+            round: 3,
+            tile: NodeId(4),
+            message: MessageId(1),
+        });
+        sink.emit(SimEvent::ByzantineReplay {
+            round: 4,
+            tile: NodeId(4),
+        });
+        sink.emit(SimEvent::AdversarialDelay {
+            round: 5,
+            link: LinkId(2),
+        });
+        sink.emit(SimEvent::AdversarialReorder {
+            round: 6,
+            link: LinkId(2),
+        });
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines[0],
+            "{\"event\":\"partition_drop\",\"round\":2,\"link\":9}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"event\":\"byzantine_forge\",\"round\":3,\"tile\":4,\"message\":1}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"event\":\"byzantine_replay\",\"round\":4,\"tile\":4}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"event\":\"adversarial_delay\",\"round\":5,\"link\":2}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"event\":\"adversarial_reorder\",\"round\":6,\"link\":2}"
         );
     }
 

@@ -70,6 +70,16 @@ pub struct SimulationReport {
     pub clock_slips: u64,
     /// Messages garbage-collected by TTL expiry, summed over all tiles.
     pub ttl_expirations: u64,
+    /// Packets lost because they were forwarded onto a partitioned link.
+    pub partition_drops: u64,
+    /// CRC-valid forged frames emitted by Byzantine tiles.
+    pub byzantine_forges: u64,
+    /// Stale frames replayed by Byzantine tiles.
+    pub byzantine_replays: u64,
+    /// Frames held back one round by adversarial latency jitter.
+    pub adversarial_delays: u64,
+    /// Frames that jumped a receive queue through adversarial reordering.
+    pub adversarial_reorders: u64,
     /// Per-message lifecycle records, ordered by id so [`Self::records`]
     /// iterates identically however messages were injected or merged.
     records: BTreeMap<MessageId, MessageRecord>,
@@ -91,6 +101,11 @@ impl SimulationReport {
             crash_drops: 0,
             clock_slips: 0,
             ttl_expirations: 0,
+            partition_drops: 0,
+            byzantine_forges: 0,
+            byzantine_replays: 0,
+            adversarial_delays: 0,
+            adversarial_reorders: 0,
             records: BTreeMap::new(),
             tech,
         }

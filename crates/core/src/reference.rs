@@ -25,17 +25,28 @@
 //! exactly the same order as the optimized engine: alive-tile then
 //! alive-link sampling at build; per-frame overflow draws in receive
 //! order; per-tile skew, then per-(message, link) forwarding and upset
-//! draws in buffer order.
+//! draws in buffer order. Adversarial mechanisms follow the same
+//! contract from their own derived streams: per-link chaos draws (delay
+//! then reorder, per surviving frame), and per-tile Byzantine draws
+//! (activation, then forge offset and mask) — see
+//! [`ReferenceSimulation::new_with_adversary`].
 
 use noc_energy::{Bits, TechnologyLibrary};
-use noc_fabric::{ClockDomain, Message, MessageId, NodeId, ReceiveBuffer, Topology, WireCodec};
-use noc_faults::{CrashSchedule, FaultInjector, FaultModel, OverflowMode};
+use noc_fabric::{
+    ClockDomain, LinkId, Message, MessageId, NodeId, ReceiveBuffer, Topology, WireCodec,
+};
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, FaultInjector, FaultModel, OverflowMode,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::config::StochasticConfig;
 use crate::engine::RoundStats;
 use crate::metrics::{MessageRecord, SimulationReport};
+use crate::seed::{derive_labeled_seed, derive_trial_seed};
 use crate::send_buffer::SendBuffer;
 
 /// A frame in flight on a link, owned byte-for-byte (the naive layout).
@@ -70,6 +81,10 @@ pub struct ReferenceSimulation {
     topology: Topology,
     config: StochasticConfig,
     crash_schedule: CrashSchedule,
+    adversary: AdversarialScenario,
+    chaos_streams: Vec<StdRng>,
+    byz_streams: BTreeMap<usize, StdRng>,
+    byz_last_frame: Vec<Option<(MessageId, Vec<u8>)>>,
     injector: FaultInjector,
     codec: WireCodec,
     tiles_alive: Vec<bool>,
@@ -95,15 +110,70 @@ impl ReferenceSimulation {
         crash_schedule: CrashSchedule,
         seed: u64,
     ) -> Self {
+        Self::new_with_adversary(
+            topology,
+            config,
+            fault_model,
+            crash_schedule,
+            AdversarialScenario::benign(),
+            seed,
+        )
+    }
+
+    /// Builds a reference simulation under an adversarial scenario,
+    /// deriving the same per-link chaos and per-tile Byzantine streams
+    /// as [`crate::SimulationBuilder::adversary`].
+    pub fn new_with_adversary(
+        topology: impl Into<Topology>,
+        config: StochasticConfig,
+        fault_model: FaultModel,
+        crash_schedule: CrashSchedule,
+        adversary: AdversarialScenario,
+        seed: u64,
+    ) -> Self {
         let topology = topology.into();
         config
             .validate()
             .unwrap_or_else(|e| panic!("invalid configuration: {e}"));
+        adversary
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid adversarial scenario: {e}"));
         let mut injector = FaultInjector::new(fault_model, seed);
         let n = topology.node_count();
         let m = topology.link_count();
         let tiles_alive = injector.sample_alive_tiles(n);
         let links_alive = injector.sample_alive_links(m);
+        let mut crash_schedule = crash_schedule;
+        for (tile, at) in adversary.permanent.tile_events() {
+            crash_schedule.kill_tile(tile, at);
+        }
+        for (link, at) in adversary.permanent.link_events() {
+            crash_schedule.kill_link(link, at);
+        }
+        let chaos_streams: Vec<StdRng> = if adversary.chaos.is_active() {
+            let base = derive_labeled_seed(seed, "adversary-link");
+            (0..m)
+                .map(|link| StdRng::seed_from_u64(derive_trial_seed(base, link as u64)))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let byz_streams: BTreeMap<usize, StdRng> = if adversary.byzantine.is_active() {
+            let base = derive_labeled_seed(seed, "adversary-tile");
+            adversary
+                .byzantine
+                .tiles
+                .iter()
+                .map(|&tile| {
+                    (
+                        tile,
+                        StdRng::seed_from_u64(derive_trial_seed(base, tile as u64)),
+                    )
+                })
+                .collect()
+        } else {
+            BTreeMap::new()
+        };
         Self {
             report: SimulationReport::new(TechnologyLibrary::NOC_LINK_0_25UM),
             buffers: (0..n).map(|_| SendBuffer::new()).collect(),
@@ -116,6 +186,10 @@ impl ReferenceSimulation {
             topology,
             config,
             crash_schedule,
+            adversary,
+            chaos_streams,
+            byz_streams,
+            byz_last_frame: vec![None; n],
             injector,
             codec: WireCodec::default(),
             round: 0,
@@ -256,32 +330,69 @@ impl ReferenceSimulation {
             let messages: Vec<Message> = self.buffers[tile].iter().cloned().collect();
             for message in &messages {
                 let frame = self.codec.encode(message);
+                if self.byz_streams.contains_key(&tile) {
+                    self.byz_last_frame[tile] = Some((message.id, frame.clone()));
+                }
                 for &link_id in &out_links {
                     if p < 1.0 && !bernoulli(self.injector.rng(), p) {
                         continue;
                     }
-                    stats.transmissions += 1;
-                    self.report.packets_sent += 1;
-                    self.report.bits_sent += Bits((frame.len() * 8) as u64);
-                    let link_dead = !self.links_alive[link_id.index()]
-                        || self.crash_schedule.link_dead(link_id.index(), round);
-                    if link_dead {
-                        self.report.crash_drops += 1;
-                        continue;
-                    }
-                    let to = self.topology.link(link_id).to;
-                    let mut out = Frame {
-                        bytes: frame.clone(),
-                        scrambled: false,
+                    self.transmit(&mut stats, round, link_id, &frame, slipped);
+                }
+            }
+            // Byzantine attack, mirroring the engine's draw order from
+            // the tile's dedicated stream: one activation draw per armed
+            // round, then (for forgeries) one offset and one mask draw.
+            if self.adversary.byzantine.armed(tile, round) && self.byz_streams.contains_key(&tile) {
+                let activation_probability = self.adversary.byzantine.activation_probability;
+                let activated = self
+                    .byz_streams
+                    .get_mut(&tile)
+                    .map(|stream| bernoulli(stream, activation_probability))
+                    .unwrap_or(false);
+                if activated {
+                    let attack: Option<(MessageId, Vec<u8>)> = match self.adversary.byzantine.mode {
+                        ByzantineMode::Forge => {
+                            let victim = &messages[0];
+                            let mut payload = victim.payload.to_vec();
+                            if payload.is_empty() {
+                                None
+                            } else {
+                                use rand::Rng;
+                                let (at, mask) = {
+                                    let stream = self
+                                        .byz_streams
+                                        .get_mut(&tile)
+                                        .expect("armed Byzantine tile has a stream");
+                                    (
+                                        stream.gen_range(0..payload.len()),
+                                        stream.gen_range(1..=255u64) as u8,
+                                    )
+                                };
+                                payload[at] ^= mask;
+                                let forged = Message::new(
+                                    victim.id,
+                                    victim.source,
+                                    victim.destination,
+                                    victim.ttl,
+                                    payload,
+                                );
+                                self.report.byzantine_forges += 1;
+                                Some((victim.id, self.codec.encode(&forged)))
+                            }
+                        }
+                        ByzantineMode::Replay => {
+                            let stored = self.byz_last_frame[tile].clone();
+                            if stored.is_some() {
+                                self.report.byzantine_replays += 1;
+                            }
+                            stored
+                        }
                     };
-                    if self.injector.upset_occurs() {
-                        self.injector.scramble(&mut out.bytes);
-                        out.scrambled = true;
-                    }
-                    if slipped {
-                        self.inbox_later[to.index()].push(out);
-                    } else {
-                        self.inbox_next[to.index()].push(out);
+                    if let Some((_, frame)) = attack {
+                        for &link_id in &out_links {
+                            self.transmit(&mut stats, round, link_id, &frame, slipped);
+                        }
                     }
                 }
             }
@@ -295,6 +406,67 @@ impl ReferenceSimulation {
         self.report.rounds_executed = self.round;
         self.report.completed = self.completed;
         stats
+    }
+
+    /// One frame over one link: counting, link death, partition,
+    /// upset scrambling, and chaos jitter — the exact per-hop tail the
+    /// engine's `transmit_frame` performs, in the same draw order.
+    fn transmit(
+        &mut self,
+        stats: &mut RoundStats,
+        round: u64,
+        link_id: LinkId,
+        frame: &[u8],
+        slipped: bool,
+    ) {
+        stats.transmissions += 1;
+        self.report.packets_sent += 1;
+        self.report.bits_sent += Bits((frame.len() * 8) as u64);
+        let link_dead = !self.links_alive[link_id.index()]
+            || self.crash_schedule.link_dead(link_id.index(), round);
+        if link_dead {
+            self.report.crash_drops += 1;
+            return;
+        }
+        // Partition check is RNG-free and sits after link death, before
+        // the upset draw — identical to the engine.
+        if self.adversary.partitions.link_cut(link_id.index(), round) {
+            self.report.partition_drops += 1;
+            return;
+        }
+        let to = self.topology.link(link_id).to;
+        let mut out = Frame {
+            bytes: frame.to_vec(),
+            scrambled: false,
+        };
+        if self.injector.upset_occurs() {
+            self.injector.scramble(&mut out.bytes);
+            out.scrambled = true;
+        }
+        let mut held = slipped;
+        let mut front = false;
+        if !self.chaos_streams.is_empty() {
+            let chaos = self.adversary.chaos;
+            let stream = &mut self.chaos_streams[link_id.index()];
+            if bernoulli(stream, chaos.delay_probability) {
+                self.report.adversarial_delays += 1;
+                held = true;
+            }
+            if bernoulli(stream, chaos.reorder_probability) {
+                self.report.adversarial_reorders += 1;
+                front = true;
+            }
+        }
+        let inbox = if held {
+            &mut self.inbox_later[to.index()]
+        } else {
+            &mut self.inbox_next[to.index()]
+        };
+        if front {
+            inbox.insert(0, out);
+        } else {
+            inbox.push(out);
+        }
     }
 
     fn apply_overflow(&mut self, frames: Vec<Frame>) -> Vec<Frame> {

@@ -10,7 +10,9 @@
 //! random topologies, fault models, crash schedules, and seeds.
 
 use noc_fabric::{NodeId, Topology};
-use noc_faults::{CrashSchedule, ErrorModel, FaultModel, OverflowMode};
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, ErrorModel, FaultModel, OverflowMode,
+};
 use proptest::prelude::*;
 use stochastic_noc::reference::ReferenceSimulation;
 use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
@@ -28,6 +30,11 @@ struct Observables {
     crash_drops: u64,
     clock_slips: u64,
     ttl_expirations: u64,
+    partition_drops: u64,
+    byzantine_forges: u64,
+    byzantine_replays: u64,
+    adversarial_delays: u64,
+    adversarial_reorders: u64,
     /// `(id, source, destination, injected, delivered)` sorted by id.
     records: Vec<(u64, usize, usize, u64, Option<u64>)>,
 }
@@ -57,6 +64,11 @@ fn observe(report: &SimulationReport) -> Observables {
         crash_drops: report.crash_drops,
         clock_slips: report.clock_slips,
         ttl_expirations: report.ttl_expirations,
+        partition_drops: report.partition_drops,
+        byzantine_forges: report.byzantine_forges,
+        byzantine_replays: report.byzantine_replays,
+        adversarial_delays: report.adversarial_delays,
+        adversarial_reorders: report.adversarial_reorders,
         records,
     }
 }
@@ -121,6 +133,88 @@ fn crash_strategy() -> impl Strategy<Value = (KillEvents, KillEvents)> {
     )
 }
 
+/// Raw, topology-independent adversarial scenario parameters. Link and
+/// tile indices are clamped to the sampled topology inside the test.
+#[derive(Debug, Clone)]
+struct RawAdversary {
+    cut_links: Vec<usize>,
+    cut_from: u64,
+    cut_heal_delta: Option<u64>,
+    permanent_tile: Option<(usize, u64)>,
+    permanent_link: Option<(usize, u64)>,
+    delay_p: f64,
+    reorder_p: f64,
+    byzantine: Option<(usize, bool, u64)>,
+    byzantine_until: Option<u64>,
+}
+
+fn adversary_strategy() -> impl Strategy<Value = RawAdversary> {
+    // The vendored proptest has no `option::of`; gate each optional
+    // component on a sampled bool instead.
+    (
+        (
+            proptest::collection::vec(0usize..128, 0..4),
+            0u64..8,
+            (any::<bool>(), 1u64..12),
+        ),
+        (any::<bool>(), 0usize..64, 0u64..10),
+        (any::<bool>(), 0usize..128, 0u64..10),
+        (0.0f64..0.3, 0.0f64..0.3),
+        (any::<bool>(), 0usize..64, any::<bool>(), 1u64..64),
+        (any::<bool>(), 1u64..20),
+    )
+        .prop_map(
+            |(
+                (cut_links, cut_from, (heal_some, heal_delta)),
+                (tile_some, tile, tile_round),
+                (link_some, link, link_round),
+                (delay_p, reorder_p),
+                (byz_some, byz_tile, byz_forge, byz_activation),
+                (until_some, until),
+            )| RawAdversary {
+                cut_links,
+                cut_from,
+                cut_heal_delta: heal_some.then_some(heal_delta),
+                permanent_tile: tile_some.then_some((tile, tile_round)),
+                permanent_link: link_some.then_some((link, link_round)),
+                delay_p,
+                reorder_p,
+                byzantine: byz_some.then_some((byz_tile, byz_forge, byz_activation)),
+                byzantine_until: until_some.then_some(until),
+            },
+        )
+}
+
+/// Realizes a [`RawAdversary`] against concrete node/link counts.
+fn build_adversary(raw: &RawAdversary, n: usize, m: usize) -> AdversarialScenario {
+    let mut builder = AdversarialScenario::builder()
+        .delay_probability(raw.delay_p)
+        .reorder_probability(raw.reorder_p);
+    if !raw.cut_links.is_empty() {
+        let links: Vec<usize> = raw.cut_links.iter().map(|&l| l % m).collect();
+        let heal = raw.cut_heal_delta.map(|d| raw.cut_from + d);
+        builder = builder.cut_links(links, raw.cut_from, heal);
+    }
+    if let Some((tile, round)) = raw.permanent_tile {
+        builder = builder.kill_tile(tile % n, round);
+    }
+    if let Some((link, round)) = raw.permanent_link {
+        builder = builder.kill_link(link % m, round);
+    }
+    if let Some((tile, forge, activation)) = raw.byzantine {
+        builder = builder
+            .byzantine_tile(tile % n)
+            .byzantine_mode(if forge {
+                ByzantineMode::Forge
+            } else {
+                ByzantineMode::Replay
+            })
+            .byzantine_activation(activation as f64 / 64.0)
+            .byzantine_until(raw.byzantine_until);
+    }
+    builder.build().expect("strategy generates valid scenarios")
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -158,6 +252,54 @@ proptest! {
             .build();
         let mut reference =
             ReferenceSimulation::new(topology, config, model, schedule, seed);
+
+        for (src, dst, payload) in &injections {
+            let src = NodeId(src % n);
+            let dst = NodeId(dst % n);
+            let a = optimized.inject(src, dst, payload.clone());
+            let b = reference.inject(src, dst, payload.clone());
+            prop_assert_eq!(a, b, "message ids must be assigned identically");
+        }
+
+        let fast = observe(&optimized.run());
+        let naive = observe(&reference.run());
+        prop_assert_eq!(fast, naive);
+    }
+
+    #[test]
+    fn optimized_engine_matches_reference_under_adversary(
+        topology in topology_strategy(),
+        p in 0.25f64..=1.0,
+        ttl in 4u8..16,
+        model in fault_model_strategy(),
+        raw in adversary_strategy(),
+        seed in any::<u64>(),
+        injections in proptest::collection::vec(
+            (0usize..64, 0usize..64, proptest::collection::vec(any::<u8>(), 1..24)),
+            1..4,
+        ),
+    ) {
+        let n = topology.node_count();
+        let m = topology.link_count();
+        let adversary = build_adversary(&raw, n, m);
+        let config = StochasticConfig::new(p, ttl)
+            .expect("valid config")
+            .with_max_rounds(50);
+
+        let mut optimized = SimulationBuilder::new(topology.clone())
+            .config(config)
+            .fault_model(model)
+            .adversary(adversary.clone())
+            .seed(seed)
+            .build();
+        let mut reference = ReferenceSimulation::new_with_adversary(
+            topology,
+            config,
+            model,
+            CrashSchedule::new(),
+            adversary,
+            seed,
+        );
 
         for (src, dst, payload) in &injections {
             let src = NodeId(src % n);

@@ -10,7 +10,9 @@
 //! one fired upset in the [`noc_faults::FaultInjector`]'s tally.
 
 use noc_fabric::{NodeId, Topology};
-use noc_faults::{CrashSchedule, ErrorModel, FaultModel, OverflowMode};
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, ErrorModel, FaultModel, OverflowMode,
+};
 use proptest::prelude::*;
 use stochastic_noc::events::CounterSink;
 use stochastic_noc::{SimEvent, SimulationBuilder, StochasticConfig};
@@ -132,6 +134,66 @@ proptest! {
         // Probabilistic overflow drops come one per fired Bernoulli hit.
         if matches!(model.overflow_mode, OverflowMode::Probabilistic) {
             prop_assert_eq!(counters.totals().overflow_drops, tally.overflow_drops);
+        }
+    }
+
+    #[test]
+    fn counter_sink_reconciles_under_adversary(
+        topology in topology_strategy(),
+        p in 0.25f64..=1.0,
+        ttl in 4u8..16,
+        model in fault_model_strategy(),
+        cut_links in proptest::collection::vec(0usize..128, 0..4),
+        cut_from in 0u64..8,
+        (heal_some, heal_delta) in (any::<bool>(), 1u64..12),
+        (dead_tile, dead_round) in (0usize..64, 0u64..10),
+        (delay_p, reorder_p) in (0.0f64..0.3, 0.0f64..0.3),
+        (byz_tile, byz_forge, byz_activation) in (0usize..64, any::<bool>(), 1u64..64),
+        seed in any::<u64>(),
+        injections in proptest::collection::vec(
+            (0usize..64, 0usize..64, proptest::collection::vec(any::<u8>(), 1..24)),
+            1..4,
+        ),
+    ) {
+        let n = topology.node_count();
+        let m = topology.link_count();
+        let mut builder = AdversarialScenario::builder()
+            .kill_tile(dead_tile % n, dead_round)
+            .delay_probability(delay_p)
+            .reorder_probability(reorder_p)
+            .byzantine_tile(byz_tile % n)
+            .byzantine_mode(if byz_forge {
+                ByzantineMode::Forge
+            } else {
+                ByzantineMode::Replay
+            })
+            .byzantine_activation(byz_activation as f64 / 64.0);
+        if !cut_links.is_empty() {
+            let links: Vec<usize> = cut_links.iter().map(|&l| l % m).collect();
+            builder = builder.cut_links(
+                links,
+                cut_from,
+                heal_some.then(|| cut_from + heal_delta),
+            );
+        }
+        let adversary = builder.build().expect("valid scenario");
+        let config = StochasticConfig::new(p, ttl)
+            .expect("valid config")
+            .with_max_rounds(50);
+
+        let mut sim = SimulationBuilder::new(topology)
+            .config(config)
+            .fault_model(model)
+            .adversary(adversary)
+            .seed(seed)
+            .build_with_sink(CounterSink::new());
+        for (src, dst, payload) in &injections {
+            sim.inject(NodeId(src % n), NodeId(dst % n), payload.clone());
+        }
+        let report = sim.run();
+        let counters = sim.into_sink();
+        if let Err(mismatch) = counters.reconcile(&report) {
+            prop_assert!(false, "adversarial reconciliation failed: {mismatch}");
         }
     }
 

@@ -2,7 +2,7 @@
 //! replayed over the three fabrics.
 
 use noc_apps::beamforming::{run_with_builder, BeamformingParams};
-use noc_faults::FaultModel;
+use noc_faults::{AdversarialScenario, FaultModel};
 use serde::Serialize;
 use stochastic_noc::{SimulationBuilder, StochasticConfig};
 
@@ -24,6 +24,8 @@ pub struct ComparisonParams {
     /// Bus service rate for the bus-connected fabric (messages per
     /// gossip round).
     pub bus_rate: usize,
+    /// Adversarial scenario applied to every fabric (benign by default).
+    pub adversary: AdversarialScenario,
     /// RNG seed.
     pub seed: u64,
 }
@@ -40,6 +42,7 @@ impl ComparisonParams {
                 .with_max_rounds(2_000),
             fault_model: FaultModel::none(),
             bus_rate: 8,
+            adversary: AdversarialScenario::benign(),
             seed: 0,
         }
     }
@@ -55,8 +58,26 @@ impl ComparisonParams {
                 .with_max_rounds(1_000),
             fault_model: FaultModel::none(),
             bus_rate: 1,
+            adversary: AdversarialScenario::benign(),
             seed: 0,
         }
+    }
+
+    /// The hostile variant of a configuration: chaos jitter on every
+    /// link plus a Byzantine forger near the centre of quadrant 0 and a
+    /// transient partition of the lowest-indexed links. Link and tile
+    /// indices outside a fabric's range simply never match, so the same
+    /// scenario applies to all three architectures.
+    pub fn hostile(self) -> Self {
+        let adversary = AdversarialScenario::builder()
+            .cut_links(0..4, 5, Some(15))
+            .delay_probability(0.05)
+            .reorder_probability(0.05)
+            .byzantine_tile(self.quadrant_side + 1)
+            .byzantine_activation(0.25)
+            .build()
+            .expect("hostile template is a valid scenario");
+        Self { adversary, ..self }
     }
 }
 
@@ -116,7 +137,8 @@ fn run_one(arch: &Architecture, params: &ComparisonParams) -> ArchitectureResult
         "beamformer tile collides with a sensor"
     );
 
-    let mut builder = SimulationBuilder::new(arch.topology().clone());
+    let mut builder =
+        SimulationBuilder::new(arch.topology().clone()).adversary(params.adversary.clone());
     if let Some((node, limit)) = arch.bridge_egress_limit() {
         // The shared bus serializes (egress limit) but every transaction
         // it does carry is a reliable broadcast to all listeners (p = 1).
@@ -205,6 +227,28 @@ mod tests {
             bus_lat >= hier_lat,
             "bus serialization cannot beat the router: {bus_lat} vs {hier_lat}"
         );
+    }
+
+    #[test]
+    fn hostile_template_runs_all_fabrics() {
+        let results = compare_architectures(&ComparisonParams::quick().hostile());
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            assert!(r.transmissions > 0, "{:?} moved no traffic", r.kind);
+        }
+    }
+
+    #[test]
+    fn hostile_is_deterministic() {
+        let params = ComparisonParams::quick().hostile();
+        let a = compare_architectures(&params);
+        let b = compare_architectures(&params);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.completed, y.completed);
+            assert_eq!(x.latency_rounds, y.latency_rounds);
+            assert_eq!(x.transmissions, y.transmissions);
+        }
     }
 
     #[test]

@@ -13,7 +13,9 @@ use noc_diversity::{
 
 use crate::{Scale, TrialRunner};
 
-/// Aggregated result per architecture.
+/// Aggregated result per architecture, with the benign baseline and a
+/// hostile column (same workload under the adversarial template of
+/// [`ComparisonParams::hostile`]).
 #[derive(Debug, Clone)]
 pub struct DiversityRow {
     /// Which fabric.
@@ -24,50 +26,87 @@ pub struct DiversityRow {
     pub transmissions: f64,
     /// Fraction of runs completed.
     pub completion_ratio: f64,
+    /// Mean latency under the hostile scenario.
+    pub hostile_latency_rounds: f64,
+    /// Mean message transmissions under the hostile scenario.
+    pub hostile_transmissions: f64,
+    /// Fraction of hostile runs completed.
+    pub hostile_completion_ratio: f64,
 }
 
-/// Runs the Figure 5-3 comparison over several seeds.
-pub fn run(scale: Scale) -> Vec<DiversityRow> {
-    let base = match scale {
-        Scale::Quick => ComparisonParams::quick(),
-        Scale::Full => ComparisonParams::paper_scale(),
-    };
-    let reps = scale.repetitions();
-    let mut acc: Vec<(ArchitectureKind, Vec<ArchitectureResult>)> = vec![
-        (ArchitectureKind::Flat, Vec::new()),
-        (ArchitectureKind::Hierarchical, Vec::new()),
-        (ArchitectureKind::BusConnected, Vec::new()),
-    ];
-    let runs = TrialRunner::for_figure("fig5-3", reps).run(|seed| {
+/// One sweep (benign or hostile) aggregated per architecture kind.
+fn sweep(label: &'static str, base: &ComparisonParams, reps: u64) -> Vec<Vec<ArchitectureResult>> {
+    let runs = TrialRunner::for_figure(label, reps).run(|seed| {
         let params = ComparisonParams {
             seed,
             ..base.clone()
         };
         compare_architectures(&params)
     });
+    let mut acc: Vec<Vec<ArchitectureResult>> = vec![Vec::new(), Vec::new(), Vec::new()];
+    let kinds = [
+        ArchitectureKind::Flat,
+        ArchitectureKind::Hierarchical,
+        ArchitectureKind::BusConnected,
+    ];
     for results in runs {
         for result in results {
-            acc.iter_mut()
-                .find(|(k, _)| *k == result.kind)
-                .expect("known kind")
-                .1
-                .push(result);
+            let slot = kinds
+                .iter()
+                .position(|k| *k == result.kind)
+                .expect("known kind");
+            acc[slot].push(result);
         }
     }
-    acc.into_iter()
-        .map(|(kind, results)| {
+    acc
+}
+
+/// Runs the Figure 5-3 comparison over several seeds, benign and
+/// hostile.
+pub fn run(scale: Scale) -> Vec<DiversityRow> {
+    let base = match scale {
+        Scale::Quick => ComparisonParams::quick(),
+        Scale::Full => ComparisonParams::paper_scale(),
+    };
+    let reps = scale.repetitions();
+    let benign = sweep("fig5-3", &base, reps);
+    let hostile = sweep("fig5-3-hostile", &base.clone().hostile(), reps);
+    let kinds = [
+        ArchitectureKind::Flat,
+        ArchitectureKind::Hierarchical,
+        ArchitectureKind::BusConnected,
+    ];
+    kinds
+        .iter()
+        .zip(benign)
+        .zip(hostile)
+        .map(|((&kind, results), hostile_results)| {
             let n = results.len() as f64;
+            let h = hostile_results.len() as f64;
             DiversityRow {
                 kind,
                 latency_rounds: results.iter().map(|r| r.latency_rounds as f64).sum::<f64>() / n,
                 transmissions: results.iter().map(|r| r.transmissions as f64).sum::<f64>() / n,
                 completion_ratio: results.iter().filter(|r| r.completed).count() as f64 / n,
+                hostile_latency_rounds: hostile_results
+                    .iter()
+                    .map(|r| r.latency_rounds as f64)
+                    .sum::<f64>()
+                    / h,
+                hostile_transmissions: hostile_results
+                    .iter()
+                    .map(|r| r.transmissions as f64)
+                    .sum::<f64>()
+                    / h,
+                hostile_completion_ratio: hostile_results.iter().filter(|r| r.completed).count()
+                    as f64
+                    / h,
             }
         })
         .collect()
 }
 
-/// Prints both bar charts of Figure 5-3.
+/// Prints both bar charts of Figure 5-3, plus the hostile column.
 pub fn print(rows: &[DiversityRow]) {
     crate::stats::print_table_header(
         "Figure 5-3: on-chip diversity architecture comparison (beamforming)",
@@ -76,15 +115,21 @@ pub fn print(rows: &[DiversityRow]) {
             "latency [rounds]",
             "message transmissions",
             "completion",
+            "hostile latency",
+            "hostile transmissions",
+            "hostile completion",
         ],
     );
     for r in rows {
         println!(
-            "{}\t{:.1}\t{:.0}\t{:.2}",
+            "{}\t{:.1}\t{:.0}\t{:.2}\t{:.1}\t{:.0}\t{:.2}",
             r.kind.name(),
             r.latency_rounds,
             r.transmissions,
-            r.completion_ratio
+            r.completion_ratio,
+            r.hostile_latency_rounds,
+            r.hostile_transmissions,
+            r.hostile_completion_ratio,
         );
     }
 }
@@ -118,5 +163,19 @@ mod tests {
         let bus = by_kind(&rows, ArchitectureKind::BusConnected).latency_rounds;
         assert!(flat <= hier, "flat {flat} vs hierarchical {hier}");
         assert!(bus >= hier, "bus {bus} vs hierarchical {hier}");
+    }
+
+    #[test]
+    fn hostile_column_is_populated() {
+        let rows = run(Scale::Quick);
+        for r in &rows {
+            assert!(
+                r.hostile_transmissions > 0.0,
+                "{:?} hostile sweep moved no traffic",
+                r.kind
+            );
+            assert!(r.hostile_latency_rounds > 0.0);
+            assert!((0.0..=1.0).contains(&r.hostile_completion_ratio));
+        }
     }
 }

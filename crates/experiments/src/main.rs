@@ -1,21 +1,23 @@
 //! CLI entry point: regenerate any figure of the paper.
 //!
 //! ```text
-//! experiments <figure> [--full] [--threads N] [--seed N] [--trace-events PATH]
-//! experiments all [--full] [--threads N] [--seed N] [--trace-events PATH]
+//! experiments <figure> [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
+//! experiments all [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
 //! ```
 //!
 //! `--threads N` pins the Monte-Carlo worker count (default:
 //! auto-detect); output tables are bit-identical for every `N`.
 //! `--seed N` re-roots every figure's trial-seed derivation (default 0).
 //! `--trace-events PATH` streams a JSONL event log of one representative
-//! trial to PATH (currently supported by `fig3-3`).
+//! trial to PATH (currently supported by `fig3-3` and `hostile`).
+//! `--reconcile-json PATH` writes the CounterSink-vs-report
+//! reconciliation summary to PATH (currently supported by `hostile`).
 
 #![forbid(unsafe_code)]
 
 use noc_experiments::{
     ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
-    fig4_9, fig5_3, grid_spread, runner, Scale,
+    fig4_9, fig5_3, grid_spread, hostile, runner, Scale,
 };
 
 const FIGURES: &[&str] = &[
@@ -32,6 +34,7 @@ const FIGURES: &[&str] = &[
     "error-models",
     "ablations",
     "grid-spread",
+    "hostile",
 ];
 
 fn run_figure(name: &str, scale: Scale) -> bool {
@@ -49,6 +52,7 @@ fn run_figure(name: &str, scale: Scale) -> bool {
         "error-models" => error_models::print(&error_models::run(scale)),
         "ablations" => ablations::print(&ablations::run(scale)),
         "grid-spread" => grid_spread::print(&grid_spread::run(scale)),
+        "hostile" => hostile::print(&hostile::run(scale)),
         _ => return false,
     }
     true
@@ -110,6 +114,7 @@ fn main() {
         runner::set_base_seed(seed);
     }
     runner::set_trace_path(parse_string_flag(&args, "--trace-events"));
+    runner::set_reconcile_json_path(parse_string_flag(&args, "--reconcile-json"));
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -118,7 +123,11 @@ fn main() {
                 skip_next = false;
                 return false;
             }
-            if *a == "--threads" || *a == "--seed" || *a == "--trace-events" {
+            if *a == "--threads"
+                || *a == "--seed"
+                || *a == "--trace-events"
+                || *a == "--reconcile-json"
+            {
                 skip_next = true;
                 return false;
             }
@@ -129,7 +138,7 @@ fn main() {
 
     if targets.is_empty() || targets == ["help"] {
         eprintln!(
-            "usage: experiments <figure>|all [--full] [--threads N] [--seed N] [--trace-events PATH]"
+            "usage: experiments <figure>|all [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]"
         );
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });

@@ -65,6 +65,26 @@ pub fn trace_path() -> Option<String> {
     TRACE_PATH.lock().expect("trace path lock").clone()
 }
 
+/// Process-wide reconciliation-report destination (`--reconcile-json
+/// PATH`); empty when reporting is off.
+static RECONCILE_JSON_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets (or, with `None`, clears) the process-wide reconciliation-report
+/// path. Figures that support it write a JSON summary of their
+/// `CounterSink`-vs-report reconciliation there.
+pub fn set_reconcile_json_path(path: Option<String>) {
+    *RECONCILE_JSON_PATH.lock().expect("reconcile path lock") = path;
+}
+
+/// The reconciliation-report destination installed by
+/// `--reconcile-json`, if any.
+pub fn reconcile_json_path() -> Option<String> {
+    RECONCILE_JSON_PATH
+        .lock()
+        .expect("reconcile path lock")
+        .clone()
+}
+
 /// Sets the process-wide default worker count (`--threads N`).
 ///
 /// `0` restores auto-detection. Runs already in flight are unaffected.

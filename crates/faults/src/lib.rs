@@ -39,12 +39,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod adversary;
 mod error_vector;
 mod injector;
 mod model;
 mod rng;
 mod sweep;
 
+pub use adversary::{
+    AdversarialScenario, AdversarialScenarioBuilder, ByzantineMode, ByzantineSet, InvalidScenario,
+    LinkChaos, PartitionCut, PartitionSchedule,
+};
 pub use error_vector::{bit_error_probability, vector_probability, ErrorModel};
 pub use injector::{CrashSchedule, FaultInjector, InjectionTally};
 pub use model::{FaultModel, FaultModelBuilder, InvalidFaultModel, OverflowMode};

@@ -66,8 +66,16 @@ pub const RULES: &[RuleInfo] = &[
     },
 ];
 
-/// Crates whose output feeds figure tables and golden reports.
-const REPORT_CRATES: &[&str] = &["crates/core/", "crates/apps/", "crates/experiments/"];
+/// Crates whose output feeds figure tables and golden reports. The
+/// faults crate qualifies since adversarial scenarios (partition cuts,
+/// Byzantine tile sets) iterate their collections into seed-stream
+/// derivation and digests.
+const REPORT_CRATES: &[&str] = &[
+    "crates/core/",
+    "crates/apps/",
+    "crates/experiments/",
+    "crates/faults/",
+];
 
 /// Library crates that must stay silent on stdout/stderr.
 const LIB_CRATES: &[&str] = &[

@@ -1,0 +1,8 @@
+//! True positive: hash-ordered set in the faults crate, which feeds
+//! adversarial scenario digests and seed-stream derivation.
+
+use std::collections::HashSet;
+
+pub struct PartitionCut {
+    pub links: HashSet<usize>,
+}
