@@ -22,8 +22,16 @@
 //! NullSink path at ≤ 2% overhead: the monomorphized no-op sink must
 //! not cost throughput (the `CounterSink` number is informational).
 //!
+//! Since the sharded round engine landed, a third section times
+//! mega-grid flooding (64×64, plus 128×128 at `--scale full`) at
+//! `--shards 1` vs `--shards 8` and a frontier "linger" workload whose
+//! late rounds are quiescent, writing the results to `BENCH_PR7.json`.
+//! The ≥3× shard speedup gate only arms when the host exposes at least
+//! 8 cores; the frontier gate (quiescent rounds ≥ 5× cheaper than dense
+//! rounds) is unconditional.
+//!
 //! Usage: `cargo run --release -p noc-bench --bin perf_baseline --
-//! [--scale quick|full] [--out PATH]`
+//! [--scale quick|full] [--out PATH] [--out-pr7 PATH]`
 
 #![forbid(unsafe_code)]
 
@@ -34,7 +42,7 @@ use noc_faults::{CrashSchedule, ErrorModel, FaultModel};
 use stochastic_noc::reference::ReferenceSimulation;
 use stochastic_noc::{CounterSink, EventSink, NullSink, SimulationBuilder, StochasticConfig};
 
-use noc_fabric::{NodeId, Topology};
+use noc_fabric::{IpContext, IpCore, NodeId, Topology};
 
 /// One benchmark workload: a topology/config/fault-model point.
 struct Workload {
@@ -300,17 +308,133 @@ fn measure_sink_overhead(w: &Workload, reps: usize, samples: usize) -> SinkOverh
     best
 }
 
+/// One mega-grid shard-scaling workload (the PR7 section).
+struct MegaWorkload {
+    name: &'static str,
+    side: usize,
+    faulty: bool,
+    messages: usize,
+}
+
+fn mega_workloads(reps: usize) -> Vec<MegaWorkload> {
+    let mut all = vec![
+        MegaWorkload {
+            name: "mega64_flooding_fault_free",
+            side: 64,
+            faulty: false,
+            messages: 8,
+        },
+        MegaWorkload {
+            name: "mega64_flooding_faulty",
+            side: 64,
+            faulty: true,
+            messages: 8,
+        },
+    ];
+    if reps >= 25 {
+        all.push(MegaWorkload {
+            name: "mega128_flooding_fault_free",
+            side: 128,
+            faulty: false,
+            messages: 8,
+        });
+        all.push(MegaWorkload {
+            name: "mega128_flooding_faulty",
+            side: 128,
+            faulty: true,
+            messages: 8,
+        });
+    }
+    all
+}
+
+/// Times the best of `samples` single trials of a mega-grid workload at
+/// the given shard count; returns `(seconds, rounds, packets)`.
+fn time_mega(w: &MegaWorkload, shards: usize, samples: usize) -> (f64, u64, u64) {
+    let n = w.side * w.side;
+    let mut best = f64::INFINITY;
+    let mut totals = (0u64, 0u64);
+    for _ in 0..samples {
+        let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
+            .config(StochasticConfig::flooding(40).with_max_rounds(60))
+            .fault_model(fault_model(w.faulty))
+            .shards(shards)
+            .seed(SEED)
+            .build();
+        for i in 0..w.messages {
+            let src = (i * n) / w.messages;
+            sim.inject(NodeId(src), NodeId(n - 1 - src), vec![0xA5; 16]);
+        }
+        let start = Instant::now();
+        let report = sim.run_to_report();
+        best = best.min(start.elapsed().as_secs_f64());
+        totals = (report.rounds_executed, report.packets_sent);
+    }
+    (best, totals.0, totals.1)
+}
+
+/// Keeps a trial alive (not done) for a fixed number of rounds without
+/// injecting anything — the late-round workload whose tail is entirely
+/// quiescent, exercising the active-frontier fast path.
+struct LingerIp {
+    rounds_left: u64,
+}
+
+impl IpCore for LingerIp {
+    fn on_round(&mut self, _ctx: &mut IpContext) {
+        self.rounds_left = self.rounds_left.saturating_sub(1);
+    }
+
+    fn is_done(&self) -> bool {
+        self.rounds_left == 0
+    }
+
+    fn name(&self) -> &str {
+        "linger"
+    }
+}
+
+/// Times the linger workload: one short 64×64 flood followed by ~1500
+/// rounds of quiescence. Returns `(seconds, rounds, quiescent_rounds)`.
+fn time_linger(samples: usize) -> (f64, u64, u64) {
+    const LINGER_ROUNDS: u64 = 1_500;
+    let mut best = f64::INFINITY;
+    let mut totals = (0u64, 0u64);
+    for _ in 0..samples {
+        let mut sim = SimulationBuilder::new(Topology::grid(64, 64))
+            .config(StochasticConfig::flooding(20).with_max_rounds(LINGER_ROUNDS))
+            .with_ip(
+                NodeId(0),
+                Box::new(LingerIp {
+                    rounds_left: LINGER_ROUNDS,
+                }),
+            )
+            .seed(SEED)
+            .build();
+        sim.inject(NodeId(1), NodeId(64 * 64 - 1), vec![0xA5; 16]);
+        let start = Instant::now();
+        let report = sim.run_to_report();
+        best = best.min(start.elapsed().as_secs_f64());
+        totals = (report.rounds_executed, report.quiescent_rounds);
+    }
+    (best, totals.0, totals.1)
+}
+
 fn main() {
     let mut scale = "full".to_string();
     let mut out_path = "BENCH_PR2.json".to_string();
+    let mut out_pr7_path = "BENCH_PR7.json".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => scale = args.next().expect("--scale needs quick|full"),
             "--out" => out_path = args.next().expect("--out needs a path"),
+            "--out-pr7" => out_pr7_path = args.next().expect("--out-pr7 needs a path"),
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: perf_baseline [--scale quick|full] [--out PATH]");
+                eprintln!(
+                    "usage: perf_baseline [--scale quick|full] [--out PATH] [--out-pr7 PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -437,6 +561,116 @@ fn main() {
 
     std::fs::write(&out_path, &json).expect("write benchmark json");
     eprintln!("wrote {out_path}");
+
+    // ---- PR7: mega-grid shard scaling + frontier win -------------------
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    // The shard gate measures parallel scaling, which a <8-core host
+    // cannot express; the frontier gate is machine-independent.
+    let shard_gate_armed = cores >= 8;
+    let mega_samples = if reps >= 25 { 3 } else { 2 };
+
+    let mut pr7 = String::new();
+    pr7.push_str("{\n");
+    let _ = writeln!(pr7, "  \"bench\": \"shard_scaling\",");
+    let _ = writeln!(pr7, "  \"pr\": 7,");
+    let _ = writeln!(pr7, "  \"scale\": \"{scale}\",");
+    let _ = writeln!(pr7, "  \"seed\": {SEED},");
+    let _ = writeln!(pr7, "  \"host_cores\": {cores},");
+    let _ = writeln!(pr7, "  \"speedup_gate_armed\": {shard_gate_armed},");
+    let _ = writeln!(pr7, "  \"speedup_gate_min\": 3.0,");
+    pr7.push_str("  \"workloads\": [\n");
+
+    let megas = mega_workloads(reps);
+    let mut dense_rounds_per_sec = 0.0f64;
+    for (i, w) in megas.iter().enumerate() {
+        time_mega(w, 1, 1); // warm-up
+        let (t1, rounds1, packets1) = time_mega(w, 1, mega_samples);
+        let (t8, rounds8, packets8) = time_mega(w, 8, mega_samples);
+        assert_eq!(
+            (rounds1, packets1),
+            (rounds8, packets8),
+            "{}: shard counts diverged — determinism contract broken",
+            w.name
+        );
+        let speedup = t1 / t8.max(1e-12);
+        eprintln!(
+            "{:<28} shards=1 {:>8.3}s   shards=8 {:>8.3}s   speedup {:>5.2}x{}",
+            w.name,
+            t1,
+            t8,
+            speedup,
+            if shard_gate_armed {
+                ""
+            } else {
+                "   (gate disarmed: <8 cores)"
+            }
+        );
+        // The fault-free rows run the uniform-forward fast path the
+        // scaling claim is about; faulty rows pay a serial draw-tape
+        // pre-pass and are reported without a gate.
+        if shard_gate_armed && !w.faulty && speedup < 3.0 {
+            failures.push(format!("{}: shard speedup {speedup:.2}x < 3x", w.name));
+        }
+        if w.name == "mega64_flooding_fault_free" {
+            dense_rounds_per_sec = rounds1 as f64 / t1.max(1e-12);
+        }
+        pr7.push_str("    {\n");
+        let _ = writeln!(pr7, "      \"name\": \"{}\",", w.name);
+        let _ = writeln!(pr7, "      \"grid\": \"{0}x{0}\",", w.side);
+        let _ = writeln!(pr7, "      \"faulty\": {},", w.faulty);
+        let _ = writeln!(pr7, "      \"messages\": {},", w.messages);
+        let _ = writeln!(pr7, "      \"rounds_total\": {rounds1},");
+        let _ = writeln!(pr7, "      \"packets_total\": {packets1},");
+        let _ = writeln!(pr7, "      \"shards1_seconds\": {t1:.6},");
+        let _ = writeln!(pr7, "      \"shards8_seconds\": {t8:.6},");
+        let _ = writeln!(pr7, "      \"speedup\": {speedup:.3},");
+        let _ = writeln!(pr7, "      \"gated\": {}", shard_gate_armed && !w.faulty);
+        pr7.push_str(if i + 1 == megas.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    pr7.push_str("  ],\n");
+
+    // Frontier win: a run whose tail is ~1480 quiescent rounds must
+    // execute rounds far faster than the dense flood — O(active), not
+    // O(n), per round.
+    let (linger_secs, linger_rounds, quiescent) = time_linger(mega_samples);
+    let linger_rounds_per_sec = linger_rounds as f64 / linger_secs.max(1e-12);
+    let win_ratio = linger_rounds_per_sec / dense_rounds_per_sec.max(1e-12);
+    eprintln!(
+        "frontier linger: {linger_rounds} rounds ({quiescent} quiescent) at {linger_rounds_per_sec:.0} rounds/s vs dense {dense_rounds_per_sec:.0} rounds/s — {win_ratio:.1}x"
+    );
+    assert!(
+        quiescent > linger_rounds / 2,
+        "linger workload is not quiescence-dominated ({quiescent}/{linger_rounds})"
+    );
+    if win_ratio < 5.0 {
+        failures.push(format!(
+            "frontier win {win_ratio:.2}x < 5x (quiescent rounds are not O(active))"
+        ));
+    }
+    pr7.push_str("  \"frontier\": {\n");
+    let _ = writeln!(pr7, "    \"linger_rounds\": {linger_rounds},");
+    let _ = writeln!(pr7, "    \"quiescent_rounds\": {quiescent},");
+    let _ = writeln!(pr7, "    \"linger_seconds\": {linger_secs:.6},");
+    let _ = writeln!(
+        pr7,
+        "    \"linger_rounds_per_sec\": {linger_rounds_per_sec:.1},"
+    );
+    let _ = writeln!(
+        pr7,
+        "    \"dense_rounds_per_sec\": {dense_rounds_per_sec:.1},"
+    );
+    let _ = writeln!(pr7, "    \"win_ratio\": {win_ratio:.3},");
+    let _ = writeln!(pr7, "    \"gate_min_ratio\": 5.0");
+    pr7.push_str("  }\n}\n");
+    std::fs::write(&out_pr7_path, &pr7).expect("write shard benchmark json");
+    eprintln!("wrote {out_pr7_path}");
+
     if !failures.is_empty() {
         eprintln!("PERF REGRESSION: {}", failures.join("; "));
         std::process::exit(1);

@@ -36,9 +36,16 @@ use std::sync::Arc;
 
 use crate::config::StochasticConfig;
 use crate::events::{DropSite, EventSink, NullSink, SimEvent};
+use crate::frontier::{Inflight, TileSet};
 use crate::metrics::{MessageRecord, SimulationReport};
 use crate::seed::{derive_labeled_seed, derive_trial_seed};
 use crate::send_buffer::{InsertOutcome, SendBuffer};
+use crate::shard::{
+    age_shard, file_shard, forward_shard_tape, forward_shard_uniform, plan_terminations,
+    receive_shard, shard_ranges, split_chunks, AgeOut, FileOut, ForwardOut, ForwardTape, LinkTx,
+    OverflowPlan, OverflowSpan, ReceiveCtx, ReceiveOut, ReceiveTape, ServeCmd, ServeSource,
+    TilePlan, TxOutcome, UniformForwardCtx,
+};
 
 /// A frame in flight on a link.
 ///
@@ -48,10 +55,10 @@ use crate::send_buffer::{InsertOutcome, SendBuffer};
 /// one link never leaks into sibling copies. The arrival link (`None`
 /// for local loopback) rides along purely for event attribution.
 #[derive(Debug, Clone)]
-struct Frame {
-    bytes: Arc<[u8]>,
-    scrambled: bool,
-    via: Option<LinkId>,
+pub(crate) struct Frame {
+    pub(crate) bytes: Arc<[u8]>,
+    pub(crate) scrambled: bool,
+    pub(crate) via: Option<LinkId>,
 }
 
 /// One remembered encoding in the per-round [`FrameMemo`].
@@ -85,19 +92,19 @@ impl MemoEntry {
 /// entries can never be stale across rounds. Keyed by `BTreeMap` so no
 /// hash-iteration order can ever leak into observable state.
 #[derive(Default)]
-struct FrameMemo {
+pub(crate) struct FrameMemo {
     map: BTreeMap<(MessageId, u8), Vec<MemoEntry>>,
     scratch: Vec<u8>,
 }
 
 impl FrameMemo {
-    fn begin_round(&mut self) {
+    pub(crate) fn begin_round(&mut self) {
         self.map.clear();
     }
 
     /// Returns the shared wire frame for `message`, encoding it at most
     /// once per round.
-    fn frame_for(&mut self, codec: &WireCodec, message: &Message) -> Arc<[u8]> {
+    pub(crate) fn frame_for(&mut self, codec: &WireCodec, message: &Message) -> Arc<[u8]> {
         let key = (message.id, message.ttl);
         if let Some(entries) = self.map.get(&key) {
             if let Some(entry) = entries.iter().find(|e| e.matches(message)) {
@@ -160,6 +167,7 @@ pub struct SimulationBuilder {
     ips: Vec<Option<Box<dyn IpCore>>>,
     egress_limits: Vec<Option<usize>>,
     forward_overrides: Vec<Option<f64>>,
+    shards: usize,
 }
 
 impl SimulationBuilder {
@@ -179,7 +187,21 @@ impl SimulationBuilder {
             ips: (0..n).map(|_| None).collect(),
             egress_limits: vec![None; n],
             forward_overrides: vec![None; n],
+            shards: 1,
         }
+    }
+
+    /// Sets how many tile-partitioned shards each round executes on
+    /// (scoped worker threads inside a single trial). `0` means auto
+    /// (one shard per available core); the count is clamped to the tile
+    /// count. Defaults to 1 — the sequential engine.
+    ///
+    /// Reports, digests and event streams are byte-identical for every
+    /// shard count: all RNG draws stay on the main thread in sequential
+    /// tile order, and cross-shard merges replay that order.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
     }
 
     /// Sets the full protocol configuration.
@@ -380,11 +402,46 @@ impl SimulationBuilder {
         } else {
             BTreeMap::new()
         };
+        // Which tiles carry a *custom* IP: `NullIp`'s hooks are no-ops
+        // and it reports done, so the compute phase (and delivery
+        // staging) can skip every unmapped tile without observable
+        // difference.
+        let ip_is_custom: Vec<bool> = self.ips.iter().map(Option::is_some).collect();
+        let custom_ip_tiles: Vec<usize> = ip_is_custom
+            .iter()
+            .enumerate()
+            .filter_map(|(tile, &custom)| custom.then_some(tile))
+            .collect();
         let ips: Vec<Box<dyn IpCore>> = self
             .ips
             .into_iter()
             .map(|ip| ip.unwrap_or_else(|| Box::new(NullIp)))
             .collect();
+        let shards = match self.shards {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            s => s,
+        }
+        .clamp(1, n.max(1));
+        // The forward phase consumes no RNG at all when every effective
+        // forwarding probability is exactly 0 or 1 and no upset, skew,
+        // chaos or Byzantine draw is configured. Sharded rounds then
+        // skip the serial forward pre-pass: workers recompute the
+        // deterministic outcomes locally (the mega-grid flooding fast
+        // path).
+        let deterministic = |p: f64| p <= 0.0 || p >= 1.0;
+        let uniform_forward = {
+            let model = injector.model();
+            model.p_upset == 0.0
+                && model.sigma_synch == 0.0
+                && !self.adversary.chaos.is_active()
+                && !self.adversary.byzantine.is_active()
+                && self.egress_limits.iter().all(Option::is_none)
+                && deterministic(self.config.forward_probability)
+                && self
+                    .forward_overrides
+                    .iter()
+                    .all(|o| o.is_none_or(deterministic))
+        };
         Simulation {
             sink,
             egress_next: vec![None; self.egress_limits.len()],
@@ -412,6 +469,17 @@ impl SimulationBuilder {
             injector,
             codec: self.codec,
             ips,
+            ip_is_custom,
+            custom_ip_tiles,
+            shards,
+            uniform_forward,
+            inflight: Inflight::new(n),
+            buffer_frontier: TileSet::new(n),
+            live_total: 0,
+            pending_purge: Vec::new(),
+            emptied_scratch: Vec::new(),
+            receive_tape: ReceiveTape::default(),
+            forward_tape: ForwardTape::default(),
             round: 0,
             next_message_id: 0,
             started: false,
@@ -474,6 +542,34 @@ pub struct Simulation<S: EventSink = NullSink> {
     forward_overrides: Vec<Option<f64>>,
     terminated: BTreeSet<MessageId>,
     report: SimulationReport,
+    /// `ips[tile]` is a user-mapped core (not the [`NullIp`] filler).
+    ip_is_custom: Vec<bool>,
+    /// Ascending tile indices with a custom IP — the compute phase's
+    /// worklist.
+    custom_ip_tiles: Vec<usize>,
+    /// Tile-partitioned shard count for the round loop (1 = sequential).
+    shards: usize,
+    /// True when the forward phase can never draw RNG (see
+    /// [`SimulationBuilder::shards`] resolution in `build_with_sink`).
+    uniform_forward: bool,
+    /// Frame counts and non-empty tile sets of the arrival arenas,
+    /// rotated in lockstep with them.
+    inflight: Inflight,
+    /// Tiles whose send buffer is non-empty — the age/forward frontier.
+    buffer_frontier: TileSet,
+    /// Total live messages across all send buffers.
+    live_total: u64,
+    /// Message ids whose spread terminated *this* round (purged from
+    /// frontier buffers in the age phase, then cleared). Earlier
+    /// terminations cannot re-enter any buffer: the receive phase
+    /// suppresses them at insertion.
+    pending_purge: Vec<MessageId>,
+    /// Recycled scratch for tiles whose buffer drained during aging.
+    emptied_scratch: Vec<u32>,
+    /// Recycled pre-drawn overflow verdicts (sharded rounds).
+    receive_tape: ReceiveTape,
+    /// Recycled pre-drawn forward outcomes (sharded rounds).
+    forward_tape: ForwardTape,
     round: u64,
     next_message_id: u64,
     started: bool,
@@ -499,6 +595,11 @@ impl<S: EventSink> Simulation<S> {
     /// The current round (number of rounds fully executed).
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// The resolved shard count this simulation steps with.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// True once every IP has reported done.
@@ -622,14 +723,22 @@ impl<S: EventSink> Simulation<S> {
             }
             // Local loopback skips the network; the IP sees it next round.
             let frame: Arc<[u8]> = self.codec.encode(&message).into();
-            self.inbox_next[source.index()].push(Frame {
+            let inbox = &mut self.inbox_next[source.index()];
+            if inbox.is_empty() {
+                self.inflight.next.tiles.insert(source.index());
+            }
+            self.inflight.next.frames += 1;
+            inbox.push(Frame {
                 bytes: frame,
                 scrambled: false,
                 via: None,
             });
             return id;
         }
-        self.buffers[source.index()].insert(message);
+        if self.buffers[source.index()].insert(message) {
+            self.live_total += 1;
+            self.buffer_frontier.insert(source.index());
+        }
         *self.informed.entry(id).or_insert(0) += 1;
         id
     }
@@ -666,20 +775,38 @@ impl<S: EventSink> Simulation<S> {
 
     /// Executes one gossip round.
     pub fn step(&mut self) -> RoundStats {
+        if self.shards > 1 {
+            self.step_sharded()
+        } else {
+            self.step_sequential()
+        }
+    }
+
+    /// Shifts the delay line through persistent arenas: the old `next`
+    /// becomes this round's arrivals (in `inbox_scratch`), the old
+    /// `later` becomes `next`, and the vectors drained last round
+    /// rotate back in as the fresh `later` — steady-state rounds
+    /// allocate no inbox memory. The inflight trackers rotate in
+    /// lockstep.
+    fn rotate_arenas(&mut self) {
+        std::mem::swap(&mut self.inbox_next, &mut self.inbox_scratch);
+        std::mem::swap(&mut self.inbox_next, &mut self.inbox_later);
+        self.inflight.rotate();
+    }
+
+    /// The single-shard round loop: the historical sequential engine,
+    /// now iterating each phase over the active frontier instead of
+    /// every tile. The frontier sets are exact and walked in ascending
+    /// tile order, so the visit — and therefore RNG draw — sequence is
+    /// identical to the old full `0..n` scans and every pre-frontier
+    /// golden digest still holds.
+    fn step_sequential(&mut self) -> RoundStats {
         let round = self.round;
-        let n = self.node_count();
         let mut stats = RoundStats {
             round,
             ..RoundStats::default()
         };
-
-        // Shift the delay line through persistent arenas: the old `next`
-        // becomes this round's arrivals (in `inbox_scratch`), the old
-        // `later` becomes `next`, and the vectors drained last round
-        // rotate back in as the fresh `later` — steady-state rounds
-        // allocate no inbox memory.
-        std::mem::swap(&mut self.inbox_next, &mut self.inbox_scratch);
-        std::mem::swap(&mut self.inbox_next, &mut self.inbox_later);
+        self.rotate_arenas();
 
         // Phase 1: receive.
         {
@@ -693,12 +820,17 @@ impl<S: EventSink> Simulation<S> {
                 ref mut inbox_scratch,
                 ref mut delivery_scratch,
                 ref mut terminated,
+                ref mut pending_purge,
                 ref mut informed,
                 ref mut report,
                 ref mut sink,
+                ref inflight,
+                ref mut buffer_frontier,
+                ref mut live_total,
+                ref ip_is_custom,
                 ..
             } = *self;
-            for tile in 0..n {
+            for tile in inflight.scratch.tiles.iter() {
                 let frames = &mut inbox_scratch[tile];
                 if frames.is_empty() {
                     continue;
@@ -799,62 +931,64 @@ impl<S: EventSink> Simulation<S> {
                             });
                         }
                         stats.deliveries += 1;
-                        delivery_scratch[tile].push((message.source, Arc::clone(&message.payload)));
-                        if config.terminate_on_delivery {
-                            terminated.insert(message.id);
+                        if ip_is_custom[tile] {
+                            delivery_scratch[tile]
+                                .push((message.source, Arc::clone(&message.payload)));
+                        }
+                        if config.terminate_on_delivery && terminated.insert(message.id) {
+                            pending_purge.push(message.id);
                         }
                     }
                     let id = message.id;
-                    if buffers[tile].insert_checked(message) == InsertOutcome::ExpiredOnArrival {
-                        // Only reachable when an undetected upset zeroed
-                        // the TTL field: the id is consumed, the buffer
-                        // counts an expiry, and the event stream must
-                        // agree.
-                        sink.emit(SimEvent::TtlExpiry {
-                            round,
-                            tile: node,
-                            message: id,
-                        });
+                    match buffers[tile].insert_checked(message) {
+                        InsertOutcome::Inserted => {
+                            *live_total += 1;
+                            buffer_frontier.insert(tile);
+                        }
+                        InsertOutcome::ExpiredOnArrival => {
+                            // Only reachable when an undetected upset zeroed
+                            // the TTL field: the id is consumed, the buffer
+                            // counts an expiry, and the event stream must
+                            // agree.
+                            sink.emit(SimEvent::TtlExpiry {
+                                round,
+                                tile: node,
+                                message: id,
+                            });
+                        }
+                        InsertOutcome::AlreadySeen => {}
                     }
                 }
             }
         }
+        self.inflight.scratch.clear();
 
         // Phase 2: compute (IPs run with zero computation time).
-        #[allow(clippy::needless_range_loop)] // indexes ips, deliveries and inboxes in lockstep
-        for tile in 0..n {
-            let node = NodeId(tile);
-            if !self.tile_alive(node) {
-                continue;
-            }
-            let mut ctx = IpContext::new(node, round);
-            if !self.started {
-                self.ips[tile].on_start(&mut ctx);
-            }
-            let mut delivered = std::mem::take(&mut self.delivery_scratch[tile]);
-            for (from, payload) in delivered.drain(..) {
-                self.ips[tile].on_message(&mut ctx, from, &payload);
-            }
-            self.delivery_scratch[tile] = delivered;
-            self.ips[tile].on_round(&mut ctx);
-            for (destination, payload) in ctx.take_outbox() {
-                self.inject_from_ip(node, destination, payload);
-            }
-        }
-        self.started = true;
+        self.run_compute(round);
 
-        // Phase 3: age TTLs and garbage-collect; terminated spreads are
-        // purged from every buffer first.
-        if self.config.terminate_on_delivery && !self.terminated.is_empty() {
-            for buffer in &mut self.buffers {
-                for &id in &self.terminated {
-                    buffer.remove(id);
-                }
-            }
-        }
+        // Phase 3: age TTLs and garbage-collect over the buffer
+        // frontier; spreads terminated this round are purged first.
+        // (Spreads terminated in earlier rounds were purged then and can
+        // never re-enter a buffer — the receive phase suppresses them.)
         {
-            let sink = &mut self.sink;
-            for (tile, buffer) in self.buffers.iter_mut().enumerate() {
+            let Simulation {
+                ref mut buffers,
+                ref mut sink,
+                ref buffer_frontier,
+                ref pending_purge,
+                ref mut live_total,
+                ref mut emptied_scratch,
+                ..
+            } = *self;
+            emptied_scratch.clear();
+            for tile in buffer_frontier.iter() {
+                let buffer = &mut buffers[tile];
+                for &id in pending_purge.iter() {
+                    if buffer.remove(id) {
+                        *live_total -= 1;
+                    }
+                }
+                let before = buffer.len() as u64;
                 buffer.age_with(|id| {
                     sink.emit(SimEvent::TtlExpiry {
                         round,
@@ -862,9 +996,18 @@ impl<S: EventSink> Simulation<S> {
                         message: id,
                     });
                 });
+                *live_total -= before - buffer.len() as u64;
+                if buffer.is_empty() {
+                    emptied_scratch.push(tile as u32);
+                }
             }
         }
-        stats.live_messages = self.buffers.iter().map(|b| b.len() as u64).sum();
+        self.pending_purge.clear();
+        let emptied = std::mem::take(&mut self.emptied_scratch);
+        for &tile in &emptied {
+            self.buffer_frontier.remove(tile as usize);
+        }
+        self.emptied_scratch = emptied;
 
         // Phase 4: forward with probability p per (message, link). The
         // buffer is walked by reference, each frame is encoded at most
@@ -893,10 +1036,12 @@ impl<S: EventSink> Simulation<S> {
                 ref forward_overrides,
                 ref mut report,
                 ref mut sink,
+                ref buffer_frontier,
+                ref mut inflight,
                 ..
             } = *self;
             frame_memo.begin_round();
-            for tile in 0..n {
+            for tile in buffer_frontier.iter() {
                 let node = NodeId(tile);
                 let msgs = buffers[tile].messages();
                 if !tiles_alive[tile] || crash_schedule.tile_dead(tile, round) || msgs.is_empty() {
@@ -954,6 +1099,7 @@ impl<S: EventSink> Simulation<S> {
                             &mut stats,
                             inbox_next,
                             inbox_later,
+                            inflight,
                             round,
                             node,
                             link_id,
@@ -1020,6 +1166,7 @@ impl<S: EventSink> Simulation<S> {
                                         &mut stats,
                                         inbox_next,
                                         inbox_later,
+                                        inflight,
                                         round,
                                         node,
                                         link_id,
@@ -1035,19 +1182,581 @@ impl<S: EventSink> Simulation<S> {
             }
         }
 
+        self.finish_round(&mut stats);
+        stats
+    }
+
+    /// Phase 2: compute (IPs run with zero computation time). Only
+    /// tiles with a custom IP participate — [`NullIp`]'s hooks are
+    /// no-ops and it reports done, so skipping unmapped tiles changes
+    /// nothing observable.
+    #[allow(clippy::needless_range_loop)] // body needs `&mut self` per tile
+    fn run_compute(&mut self, round: u64) {
+        for i in 0..self.custom_ip_tiles.len() {
+            let tile = self.custom_ip_tiles[i];
+            let node = NodeId(tile);
+            if !self.tile_alive(node) {
+                continue;
+            }
+            let mut ctx = IpContext::new(node, round);
+            if !self.started {
+                self.ips[tile].on_start(&mut ctx);
+            }
+            let mut delivered = std::mem::take(&mut self.delivery_scratch[tile]);
+            for (from, payload) in delivered.drain(..) {
+                self.ips[tile].on_message(&mut ctx, from, &payload);
+            }
+            self.delivery_scratch[tile] = delivered;
+            self.ips[tile].on_round(&mut ctx);
+            for (destination, payload) in ctx.take_outbox() {
+                self.inject_from_ip(node, destination, payload);
+            }
+        }
+        self.started = true;
+    }
+
+    /// Round epilogue shared by the sequential and sharded paths:
+    /// advances the round, evaluates completion and quiescence from the
+    /// frontier counters (O(1) instead of the old O(n) scans), and
+    /// fills the live-message stat. Debug builds re-assert every
+    /// counter and frontier bit against the ground-truth scans.
+    fn finish_round(&mut self, stats: &mut RoundStats) {
         self.round += 1;
+        stats.live_messages = self.live_total;
+        #[cfg(debug_assertions)]
+        {
+            let live: u64 = self.buffers.iter().map(|b| b.len() as u64).sum();
+            debug_assert_eq!(live, self.live_total, "live-message counter drifted");
+            let next: u64 = self.inbox_next.iter().map(|v| v.len() as u64).sum();
+            debug_assert_eq!(
+                next, self.inflight.next.frames,
+                "next-arena counter drifted"
+            );
+            let later: u64 = self.inbox_later.iter().map(|v| v.len() as u64).sum();
+            debug_assert_eq!(
+                later, self.inflight.later.frames,
+                "later-arena counter drifted"
+            );
+            for (tile, buffer) in self.buffers.iter().enumerate() {
+                debug_assert_eq!(
+                    !buffer.is_empty(),
+                    self.buffer_frontier.contains(tile),
+                    "buffer frontier inexact at tile {tile}"
+                );
+            }
+            for (tile, inbox) in self.inbox_next.iter().enumerate() {
+                debug_assert_eq!(
+                    !inbox.is_empty(),
+                    self.inflight.next.tiles.contains(tile),
+                    "next-arena frontier inexact at tile {tile}"
+                );
+            }
+        }
         // The run is complete when every IP has finished *and* the network
         // has drained: no live messages buffered and nothing in flight.
         // (Keeping the spread alive until TTL expiry matches the paper's
         // "the spread could be terminated" remark — the TTL is the
-        // termination mechanism.)
-        let drained = self.buffers.iter().all(SendBuffer::is_empty)
-            && self.inbox_next.iter().all(Vec::is_empty)
-            && self.inbox_later.iter().all(Vec::is_empty);
-        self.completed = drained && self.ips.iter().all(|ip| ip.is_done());
+        // termination mechanism.) Chaos-delayed frames parked in the
+        // `later` arena count as in flight, so quiescence cannot fire
+        // early.
+        let drained = self.live_total == 0 && self.inflight.pending_frames() == 0;
+        self.completed = drained && self.custom_ip_tiles.iter().all(|&t| self.ips[t].is_done());
         self.report.rounds_executed = self.round;
         self.report.completed = self.completed;
+        if self.live_total == 0 && !self.completed {
+            // A quiescent round: the buffer frontier is empty but the
+            // run is not over (frames still in the delay line, or IPs
+            // not done). These are the frontier's O(active) fast-path
+            // rounds.
+            self.report.quiescent_rounds += 1;
+            self.sink.emit(SimEvent::RoundQuiescent {
+                round: stats.round,
+                inflight: self.inflight.pending_frames(),
+            });
+        }
+    }
+
+    /// The tile-partitioned round loop (`shards > 1`).
+    ///
+    /// Division of labour (see [`crate::shard`]): every RNG draw
+    /// happens here on the main thread, in serial pre-passes that walk
+    /// tiles in exactly the sequential engine's order; scoped shard
+    /// workers execute the recorded outcomes over disjoint tile ranges;
+    /// merges walk shards in ascending tile order. Reports, digests and
+    /// event streams are byte-identical to `shards = 1`.
+    fn step_sharded(&mut self) -> RoundStats {
+        let round = self.round;
+        let n = self.node_count();
+        let record_events = S::RECORDS;
+        let mut stats = RoundStats {
+            round,
+            ..RoundStats::default()
+        };
+        self.rotate_arenas();
+        let ranges = shard_ranges(n, self.shards);
+
+        // Receive pre-pass: probabilistic overflow draws one Bernoulli
+        // per arriving frame at each alive tile — replay them onto the
+        // tape in tile order.
+        self.receive_tape.clear();
+        let tape_mode = matches!(
+            self.injector.model().overflow_mode,
+            OverflowMode::Probabilistic
+        ) && self.injector.model().p_overflow > 0.0;
+        if tape_mode {
+            let Simulation {
+                ref mut receive_tape,
+                ref mut injector,
+                ref inbox_scratch,
+                ref inflight,
+                ref tiles_alive,
+                ref crash_schedule,
+                ..
+            } = *self;
+            for tile in inflight.scratch.tiles.iter() {
+                let frames = &inbox_scratch[tile];
+                if frames.is_empty() || !tiles_alive[tile] || crash_schedule.tile_dead(tile, round)
+                {
+                    continue;
+                }
+                let start = receive_tape.keeps.len() as u32;
+                for _ in 0..frames.len() {
+                    receive_tape.keeps.push(!injector.overflow_drop());
+                }
+                receive_tape.spans.push(OverflowSpan {
+                    tile: tile as u32,
+                    start,
+                    len: frames.len() as u32,
+                });
+            }
+        }
+        let overflow_plan = if tape_mode {
+            OverflowPlan::Tape(&self.receive_tape)
+        } else {
+            match self.injector.model().overflow_mode {
+                OverflowMode::Structural { capacity } => OverflowPlan::Structural { capacity },
+                OverflowMode::Probabilistic => OverflowPlan::None,
+            }
+        };
+
+        // Termination plan: under terminate-on-delivery one tile's
+        // delivery suppresses later copies of the id — cross-shard
+        // information a worker cannot observe, so the delivering tiles
+        // are computed up front (RNG-free).
+        let newly_terminated = if self.config.terminate_on_delivery {
+            plan_terminations(
+                round,
+                &self.inflight.scratch.tiles,
+                &self.inbox_scratch,
+                &self.buffers,
+                &self.codec,
+                &self.tiles_alive,
+                &self.crash_schedule,
+                &overflow_plan,
+                &self.terminated,
+            )
+        } else {
+            BTreeMap::new()
+        };
+
+        // Phase 1: receive, one RNG-free worker per shard.
+        let receive_outs: Vec<ReceiveOut> = if self.inflight.scratch.frames == 0 {
+            Vec::new()
+        } else {
+            let Simulation {
+                ref config,
+                ref crash_schedule,
+                ref codec,
+                ref tiles_alive,
+                ref mut buffers,
+                ref mut inbox_scratch,
+                ref mut delivery_scratch,
+                ref terminated,
+                ref inflight,
+                ref ip_is_custom,
+                ..
+            } = *self;
+            let ctx = ReceiveCtx {
+                round,
+                frontier: &inflight.scratch.tiles,
+                codec,
+                tiles_alive,
+                crash_schedule,
+                overflow: overflow_plan,
+                terminated,
+                newly_terminated: &newly_terminated,
+                terminate_on_delivery: config.terminate_on_delivery,
+                ip_is_custom,
+                record_events,
+            };
+            let inboxes = split_chunks(inbox_scratch, &ranges);
+            let buffers = split_chunks(buffers, &ranges);
+            let scratch = split_chunks(delivery_scratch, &ranges);
+            let work: Vec<_> = ranges
+                .iter()
+                .zip(inboxes)
+                .zip(buffers)
+                .zip(scratch)
+                .map(|(((&(lo, _), inbox), buf), ds)| (lo, inbox, buf, ds))
+                .collect();
+            run_shards(work, |(lo, inbox, buf, ds)| {
+                receive_shard(&ctx, lo, inbox, buf, ds)
+            })
+        };
+        for out in &receive_outs {
+            self.report.crash_drops += out.crash_drops;
+            self.report.overflow_drops += out.overflow_drops;
+            self.report.upsets_detected += out.upsets_detected;
+            self.report.upsets_undetected += out.upsets_undetected;
+            for &id in &out.informed {
+                *self.informed.entry(id).or_insert(0) += 1;
+            }
+            stats.deliveries += out.deliveries.len() as u64;
+            if record_events {
+                // Delivery events are candidates: first-delivery
+                // arbitration replays here, in shard (= tile) order.
+                for &event in &out.events {
+                    if let SimEvent::Delivery { round, message, .. } = event {
+                        if self.report.record_delivery(message, round) {
+                            self.sink.emit(event);
+                        }
+                    } else {
+                        self.sink.emit(event);
+                    }
+                }
+            } else {
+                for &id in &out.deliveries {
+                    self.report.record_delivery(id, round);
+                }
+            }
+            self.live_total += out.inserted;
+            for &tile in &out.touched {
+                self.buffer_frontier.insert(tile as usize);
+            }
+        }
+        self.inflight.scratch.clear();
+        for &id in newly_terminated.keys() {
+            if self.terminated.insert(id) {
+                self.pending_purge.push(id);
+            }
+        }
+
+        // Phase 2: compute.
+        self.run_compute(round);
+
+        // Phase 3: age over the buffer frontier, one worker per shard.
+        let age_outs: Vec<AgeOut> = if self.buffer_frontier.is_empty() {
+            Vec::new()
+        } else {
+            let Simulation {
+                ref buffer_frontier,
+                ref mut buffers,
+                ref pending_purge,
+                ..
+            } = *self;
+            let chunks = split_chunks(buffers, &ranges);
+            let work: Vec<_> = ranges
+                .iter()
+                .zip(chunks)
+                .map(|(&(lo, _), chunk)| (lo, chunk))
+                .collect();
+            run_shards(work, |(lo, chunk)| {
+                age_shard(
+                    round,
+                    lo,
+                    buffer_frontier,
+                    chunk,
+                    pending_purge,
+                    record_events,
+                )
+            })
+        };
+        for out in &age_outs {
+            for &event in &out.events {
+                self.sink.emit(event);
+            }
+            self.live_total -= out.purged + out.expired;
+            for &tile in &out.emptied {
+                self.buffer_frontier.remove(tile as usize);
+            }
+        }
+        self.pending_purge.clear();
+
+        // Phase 4: forward. Fully-deterministic configurations skip the
+        // tape: workers recompute outcomes locally (and return the
+        // counter deltas the pre-pass would have accumulated).
+        let forward_outs: Vec<ForwardOut> = if self.buffer_frontier.is_empty() {
+            Vec::new()
+        } else if self.uniform_forward {
+            let Simulation {
+                ref buffer_frontier,
+                ref buffers,
+                ref topology,
+                ref codec,
+                ref tiles_alive,
+                ref links_alive,
+                ref crash_schedule,
+                ref adversary,
+                ref forward_overrides,
+                ref config,
+                ..
+            } = *self;
+            let ctx = UniformForwardCtx {
+                round,
+                frontier: buffer_frontier,
+                buffers,
+                topology,
+                codec,
+                tiles_alive,
+                links_alive,
+                crash_schedule,
+                adversary,
+                forward_overrides,
+                forward_probability: config.forward_probability,
+                record_events,
+            };
+            run_shards(ranges.clone(), |(lo, hi)| {
+                forward_shard_uniform(&ctx, lo, hi)
+            })
+        } else {
+            self.build_forward_tape(round, &mut stats);
+            let Simulation {
+                ref forward_tape,
+                ref buffers,
+                ref topology,
+                ref codec,
+                ..
+            } = *self;
+            run_shards(ranges.clone(), |(lo, hi)| {
+                forward_shard_tape(
+                    round,
+                    lo,
+                    hi,
+                    forward_tape,
+                    buffers,
+                    topology,
+                    codec,
+                    record_events,
+                )
+            })
+        };
+        for out in &forward_outs {
+            for &event in &out.events {
+                self.sink.emit(event);
+            }
+            // Uniform-mode counter deltas; the tape pre-pass accumulates
+            // these itself and leaves worker deltas at zero.
+            stats.transmissions += out.transmissions;
+            self.report.packets_sent += out.transmissions;
+            self.report.bits_sent += Bits(out.bits);
+            self.report.crash_drops += out.crash_drops;
+            self.report.partition_drops += out.partition_drops;
+        }
+
+        // File egress into the arrival arenas, one worker per
+        // destination shard, walking producers in shard order so each
+        // inbox fills in exactly the sequential filing order.
+        if forward_outs.iter().any(|out| !out.egress.is_empty()) {
+            let file_outs: Vec<FileOut> = {
+                let Simulation {
+                    ref mut inbox_next,
+                    ref mut inbox_later,
+                    ..
+                } = *self;
+                let next = split_chunks(inbox_next, &ranges);
+                let later = split_chunks(inbox_later, &ranges);
+                let outs = &forward_outs;
+                let work: Vec<_> = ranges
+                    .iter()
+                    .zip(next)
+                    .zip(later)
+                    .map(|((&(lo, _), next), later)| (lo, next, later))
+                    .collect();
+                run_shards(work, |(lo, next, later)| file_shard(lo, outs, next, later))
+            };
+            for out in &file_outs {
+                self.inflight.next.frames += out.next_frames;
+                self.inflight.later.frames += out.later_frames;
+                for &tile in &out.next_tiles {
+                    self.inflight.next.tiles.insert(tile as usize);
+                }
+                for &tile in &out.later_tiles {
+                    self.inflight.later.tiles.insert(tile as usize);
+                }
+            }
+        }
+
+        self.finish_round(&mut stats);
         stats
+    }
+
+    /// The forward phase's serial RNG pre-pass (sharded, non-uniform
+    /// configurations): walks the buffer frontier in sequential tile
+    /// order consuming every draw — forwarding Bernoullis, clock skew,
+    /// upsets (captured as XOR masks by scrambling a zero buffer of the
+    /// frame's length, which spends the identical draws), chaos jitter
+    /// and Byzantine activity — and records the outcomes on the tape
+    /// for the RNG-free workers. All transmission counters accumulate
+    /// here, in draw order.
+    fn build_forward_tape(&mut self, round: u64, stats: &mut RoundStats) {
+        let Simulation {
+            ref topology,
+            ref config,
+            ref crash_schedule,
+            ref adversary,
+            ref mut chaos_streams,
+            ref mut byz_streams,
+            ref mut byz_last_frame,
+            ref mut injector,
+            ref codec,
+            ref tiles_alive,
+            ref links_alive,
+            ref buffers,
+            ref mut clocks,
+            ref mut frame_memo,
+            ref egress_limits,
+            ref mut egress_next,
+            ref forward_overrides,
+            ref mut report,
+            ref buffer_frontier,
+            ref mut forward_tape,
+            ..
+        } = *self;
+        forward_tape.clear();
+        frame_memo.begin_round();
+        for tile in buffer_frontier.iter() {
+            let node = NodeId(tile);
+            let msgs = buffers[tile].messages();
+            if !tiles_alive[tile] || crash_schedule.tile_dead(tile, round) || msgs.is_empty() {
+                continue;
+            }
+            let p = forward_overrides[tile].unwrap_or(config.forward_probability);
+            let skew = injector.round_skew();
+            let slips = clocks[tile].advance(skew);
+            let slipped = slips > 0;
+            let serves_start = forward_tape.serves.len() as u32;
+            let len = msgs.len();
+            let (start, count) = match egress_limits[tile] {
+                Some(limit) if len > limit => {
+                    let start = egress_next[tile]
+                        .and_then(|id| msgs.iter().position(|m| m.id == id))
+                        .unwrap_or(0);
+                    egress_next[tile] = Some(msgs[(start + limit) % len].id);
+                    (start, limit)
+                }
+                _ => (0, len),
+            };
+            for k in 0..count {
+                let slot = (start + k) % len;
+                let message = &msgs[slot];
+                let frame_len = codec.frame_bytes(message.payload.len());
+                if byz_streams.contains_key(&tile) {
+                    // Replay ammunition must be the encoded frame; the
+                    // engine memo deduplicates the encode work.
+                    let frame = frame_memo.frame_for(codec, message);
+                    byz_last_frame[tile] = Some((message.id, frame));
+                }
+                let txs_start = forward_tape.txs.len() as u32;
+                for &link_id in topology.out_links(node) {
+                    if p < 1.0 && !injector.rng().gen_bool_p(p) {
+                        continue;
+                    }
+                    plan_transmission(
+                        forward_tape,
+                        links_alive,
+                        crash_schedule,
+                        adversary,
+                        injector,
+                        chaos_streams,
+                        report,
+                        stats,
+                        round,
+                        link_id,
+                        frame_len,
+                        slipped,
+                    );
+                }
+                forward_tape.serves.push(ServeCmd {
+                    source: ServeSource::Buffer { slot: slot as u32 },
+                    txs: (txs_start, forward_tape.txs.len() as u32),
+                });
+            }
+            // Byzantine attack after legitimate service, same stream
+            // discipline as the sequential engine.
+            if adversary.byzantine.armed(tile, round) {
+                if let Some(stream) = byz_streams.get_mut(&tile) {
+                    if stream.gen_bool_p(adversary.byzantine.activation_probability) {
+                        let attack = match adversary.byzantine.mode {
+                            ByzantineMode::Forge => {
+                                let victim = &msgs[start % len];
+                                let mut payload = victim.payload.to_vec();
+                                if payload.is_empty() {
+                                    None
+                                } else {
+                                    use rand::Rng;
+                                    let at = stream.gen_range(0..payload.len());
+                                    let mask = stream.gen_range(1..=255u64) as u8;
+                                    payload[at] ^= mask;
+                                    let forged = Message::new(
+                                        victim.id,
+                                        victim.source,
+                                        victim.destination,
+                                        victim.ttl,
+                                        payload,
+                                    );
+                                    let frame: Arc<[u8]> = codec.encode(&forged).into();
+                                    report.byzantine_forges += 1;
+                                    Some(ServeSource::Forge {
+                                        id: victim.id,
+                                        frame,
+                                    })
+                                }
+                            }
+                            ByzantineMode::Replay => {
+                                byz_last_frame[tile].clone().map(|(id, frame)| {
+                                    report.byzantine_replays += 1;
+                                    ServeSource::Replay { id, frame }
+                                })
+                            }
+                        };
+                        if let Some(source) = attack {
+                            let frame_len = match &source {
+                                ServeSource::Forge { frame, .. }
+                                | ServeSource::Replay { frame, .. } => frame.len(),
+                                // Attack sources always carry a frame.
+                                ServeSource::Buffer { .. } => 0,
+                            };
+                            let txs_start = forward_tape.txs.len() as u32;
+                            for &link_id in topology.out_links(node) {
+                                plan_transmission(
+                                    forward_tape,
+                                    links_alive,
+                                    crash_schedule,
+                                    adversary,
+                                    injector,
+                                    chaos_streams,
+                                    report,
+                                    stats,
+                                    round,
+                                    link_id,
+                                    frame_len,
+                                    slipped,
+                                );
+                            }
+                            forward_tape.serves.push(ServeCmd {
+                                source,
+                                txs: (txs_start, forward_tape.txs.len() as u32),
+                            });
+                        }
+                    }
+                }
+            }
+            forward_tape.plans.push(TilePlan {
+                tile: tile as u32,
+                slips,
+                serves: (serves_start, forward_tape.serves.len() as u32),
+            });
+        }
     }
 
     fn inject_from_ip(&mut self, source: NodeId, destination: NodeId, payload: Vec<u8>) {
@@ -1073,14 +1782,22 @@ impl<S: EventSink> Simulation<S> {
                 });
             }
             let frame: Arc<[u8]> = self.codec.encode(&message).into();
-            self.inbox_next[source.index()].push(Frame {
+            let inbox = &mut self.inbox_next[source.index()];
+            if inbox.is_empty() {
+                self.inflight.next.tiles.insert(source.index());
+            }
+            self.inflight.next.frames += 1;
+            inbox.push(Frame {
                 bytes: frame,
                 scrambled: false,
                 via: None,
             });
             return;
         }
-        self.buffers[source.index()].insert(message);
+        if self.buffers[source.index()].insert(message) {
+            self.live_total += 1;
+            self.buffer_frontier.insert(source.index());
+        }
         *self.informed.entry(id).or_insert(0) += 1;
     }
 }
@@ -1108,6 +1825,7 @@ fn transmit_frame<S: EventSink>(
     stats: &mut RoundStats,
     inbox_next: &mut [Vec<Frame>],
     inbox_later: &mut [Vec<Frame>],
+    inflight: &mut Inflight,
     round: u64,
     from: NodeId,
     link_id: LinkId,
@@ -1180,16 +1898,130 @@ fn transmit_frame<S: EventSink>(
             front = true;
         }
     }
-    let inbox = if held {
-        &mut inbox_later[to.index()]
+    let (inbox, track) = if held {
+        (&mut inbox_later[to.index()], &mut inflight.later)
     } else {
-        &mut inbox_next[to.index()]
+        (&mut inbox_next[to.index()], &mut inflight.next)
     };
+    if inbox.is_empty() {
+        track.tiles.insert(to.index());
+    }
+    track.frames += 1;
     if front {
         inbox.insert(0, out);
     } else {
         inbox.push(out);
     }
+}
+
+/// Pre-draws one transmission's fate onto the forward tape: counts it,
+/// decides dead-link/partition swallowing, captures an upset's XOR mask
+/// (scrambling a zero buffer of the frame's length consumes the
+/// identical draws the sequential engine would spend on the frame
+/// bytes — both error models are XOR-linear), and draws chaos jitter
+/// from the link's dedicated stream. The decision sequence per link is
+/// byte-identical to [`transmit_frame`]'s.
+#[allow(clippy::too_many_arguments)] // the forward pre-pass's split borrows, passed explicitly
+fn plan_transmission(
+    tape: &mut ForwardTape,
+    links_alive: &[bool],
+    crash_schedule: &CrashSchedule,
+    adversary: &AdversarialScenario,
+    injector: &mut FaultInjector,
+    chaos_streams: &mut [StdRng],
+    report: &mut SimulationReport,
+    stats: &mut RoundStats,
+    round: u64,
+    link_id: LinkId,
+    frame_len: usize,
+    slipped: bool,
+) {
+    stats.transmissions += 1;
+    report.packets_sent += 1;
+    report.bits_sent += Bits((frame_len * 8) as u64);
+    let link_dead =
+        !links_alive[link_id.index()] || crash_schedule.link_dead(link_id.index(), round);
+    let outcome = if link_dead {
+        report.crash_drops += 1;
+        TxOutcome::DeadLink
+    } else if adversary.partitions.link_cut(link_id.index(), round) {
+        report.partition_drops += 1;
+        TxOutcome::Partitioned
+    } else {
+        let scramble = if injector.upset_occurs() {
+            let mut mask = vec![0u8; frame_len];
+            injector.scramble(&mut mask);
+            Some(mask.into_boxed_slice())
+        } else {
+            None
+        };
+        let mut held = slipped;
+        let mut front = false;
+        let mut delayed = false;
+        let mut reordered = false;
+        if !chaos_streams.is_empty() {
+            // Same fixed draw order as `transmit_frame`: delay first,
+            // then reorder, from the link's dedicated stream.
+            let stream = &mut chaos_streams[link_id.index()];
+            if stream.gen_bool_p(adversary.chaos.delay_probability) {
+                report.adversarial_delays += 1;
+                held = true;
+                delayed = true;
+            }
+            if stream.gen_bool_p(adversary.chaos.reorder_probability) {
+                report.adversarial_reorders += 1;
+                front = true;
+                reordered = true;
+            }
+        }
+        TxOutcome::Deliver {
+            scramble,
+            held,
+            front,
+            delayed,
+            reordered,
+        }
+    };
+    tape.txs.push(LinkTx {
+        link: link_id,
+        outcome,
+    });
+}
+
+/// Runs one worker per shard on scoped threads, executing the last
+/// shard inline on the calling thread (a one-element work list spawns
+/// nothing). Results return in shard order; a worker panic propagates
+/// to the caller.
+fn run_shards<W, T, F>(mut work: Vec<W>, f: F) -> Vec<T>
+where
+    W: Send,
+    T: Send,
+    F: Fn(W) -> T + Sync,
+{
+    let Some(last) = work.pop() else {
+        return Vec::new();
+    };
+    if work.is_empty() {
+        return vec![f(last)];
+    }
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = work
+            .into_iter()
+            .map(|w| scope.spawn(move || f(w)))
+            .collect();
+        let inline = f(last);
+        let mut results: Vec<T> = handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(out) => out,
+                // noc-lint: allow(hot-path-panic, reason = "re-raises a worker thread's panic payload on the main thread; not a new panic site")
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect();
+        results.push(inline);
+        results
+    })
 }
 
 /// Applies the configured overflow policy to one tile's arrivals in place,

@@ -187,6 +187,18 @@ pub enum SimEvent {
         /// The reordering link.
         link: LinkId,
     },
+    /// The active frontier drained to zero live messages at the end of a
+    /// round that did not complete the run: every send buffer is empty,
+    /// but frames still sit in the arrival delay line (chaos-delayed or
+    /// slip-held) or an IP is still awaiting input. Quiescent rounds are
+    /// the O(active) fast path of the frontier worklist — this event
+    /// makes that behavior observable and exactly checkable.
+    RoundQuiescent {
+        /// The quiescent round.
+        round: u64,
+        /// Frames still in flight in the arrival delay line.
+        inflight: u64,
+    },
 }
 
 impl SimEvent {
@@ -207,7 +219,8 @@ impl SimEvent {
             | SimEvent::ByzantineForge { round, .. }
             | SimEvent::ByzantineReplay { round, .. }
             | SimEvent::AdversarialDelay { round, .. }
-            | SimEvent::AdversarialReorder { round, .. } => round,
+            | SimEvent::AdversarialReorder { round, .. }
+            | SimEvent::RoundQuiescent { round, .. } => round,
         }
     }
 
@@ -230,6 +243,7 @@ impl SimEvent {
             SimEvent::ByzantineReplay { .. } => "byzantine_replay",
             SimEvent::AdversarialDelay { .. } => "adversarial_delay",
             SimEvent::AdversarialReorder { .. } => "adversarial_reorder",
+            SimEvent::RoundQuiescent { .. } => "round_quiescent",
         }
     }
 }
@@ -242,6 +256,13 @@ impl SimEvent {
 /// installed, which the golden-report digest tests enforce. `emit` is
 /// called on the hot path; implementations should be cheap or buffer.
 pub trait EventSink {
+    /// Does this sink actually record events? `false` lets the sharded
+    /// engine skip collecting per-worker event vectors entirely when the
+    /// sink would discard them anyway ([`NullSink`]); the sequential
+    /// engine monomorphizes emissions away regardless, so most sinks can
+    /// leave the default.
+    const RECORDS: bool = true;
+
     /// Observes one event.
     fn emit(&mut self, event: SimEvent);
 }
@@ -257,6 +278,8 @@ pub trait EventSink {
 pub struct NullSink;
 
 impl EventSink for NullSink {
+    const RECORDS: bool = false;
+
     #[inline(always)]
     fn emit(&mut self, _event: SimEvent) {}
 }
@@ -265,6 +288,8 @@ impl EventSink for NullSink {
 /// keeps ownership (e.g. inspect a [`CounterSink`] after the run without
 /// consuming the simulation).
 impl<S: EventSink + ?Sized> EventSink for &mut S {
+    const RECORDS: bool = S::RECORDS;
+
     #[inline]
     fn emit(&mut self, event: SimEvent) {
         (**self).emit(event);
@@ -366,6 +391,10 @@ pub struct CounterSink {
     tiles: Vec<EventCounts>,
     links: Vec<EventCounts>,
     totals: EventCounts,
+    /// Rounds that ended with zero live messages without completing the
+    /// run. A whole-round observation, not a per-location event, so it
+    /// lives beside the location tables rather than in [`EventCounts`].
+    quiescent_rounds: u64,
 }
 
 impl CounterSink {
@@ -404,6 +433,12 @@ impl CounterSink {
     /// Per-link tallies, indexed by link id.
     pub fn links(&self) -> &[EventCounts] {
         &self.links
+    }
+
+    /// Rounds observed to end quiescent (no live messages, run not yet
+    /// complete) — the frontier worklist's fast-path rounds.
+    pub fn quiescent_rounds(&self) -> u64 {
+        self.quiescent_rounds
     }
 
     /// Recomputes the global tallies from the per-tile and per-link
@@ -448,6 +483,7 @@ impl CounterSink {
             mine.merge(theirs);
         }
         self.totals.merge(&other.totals);
+        self.quiescent_rounds += other.quiescent_rounds;
     }
 
     /// Checks the reconciliation identity: the per-location sums must
@@ -525,6 +561,12 @@ impl CounterSink {
                 summed.deliveries
             ));
         }
+        if self.quiescent_rounds != report.quiescent_rounds {
+            return Err(format!(
+                "counter `quiescent_rounds`: {} events observed, report says {}",
+                self.quiescent_rounds, report.quiescent_rounds
+            ));
+        }
         Ok(())
     }
 }
@@ -598,6 +640,9 @@ impl EventSink for CounterSink {
             SimEvent::AdversarialReorder { link, .. } => {
                 self.link(link).adversarial_reorders += 1;
                 self.totals.adversarial_reorders += 1;
+            }
+            SimEvent::RoundQuiescent { .. } => {
+                self.quiescent_rounds += 1;
             }
         }
     }
@@ -783,6 +828,10 @@ impl<W: Write> EventSink for JsonlSink<W> {
                 self.out,
                 "{{\"event\":\"adversarial_reorder\",\"round\":{round},\"link\":{}}}",
                 link.index(),
+            ),
+            SimEvent::RoundQuiescent { round, inflight } => writeln!(
+                self.out,
+                "{{\"event\":\"round_quiescent\",\"round\":{round},\"inflight\":{inflight}}}",
             ),
         };
         result.expect("write JSONL event line");
@@ -978,6 +1027,52 @@ mod tests {
             lines[4],
             "{\"event\":\"adversarial_reorder\",\"round\":6,\"link\":2}"
         );
+    }
+
+    #[test]
+    fn quiescent_rounds_count_and_serialize() {
+        let mut counters = CounterSink::new();
+        counters.emit(SimEvent::RoundQuiescent {
+            round: 7,
+            inflight: 2,
+        });
+        counters.emit(SimEvent::RoundQuiescent {
+            round: 8,
+            inflight: 1,
+        });
+        assert_eq!(counters.quiescent_rounds(), 2);
+        // Whole-round events attribute to no tile or link: the location
+        // sums are unaffected.
+        assert_eq!(counters.summed_from_locations(), *counters.totals());
+        let mut merged = CounterSink::new();
+        merged.merge(&counters);
+        assert_eq!(merged.quiescent_rounds(), 2);
+
+        let mut jsonl = JsonlSink::new(Vec::new());
+        jsonl.emit(SimEvent::RoundQuiescent {
+            round: 7,
+            inflight: 2,
+        });
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        assert_eq!(
+            text.trim_end(),
+            "{\"event\":\"round_quiescent\",\"round\":7,\"inflight\":2}"
+        );
+        let event = SimEvent::RoundQuiescent {
+            round: 7,
+            inflight: 2,
+        };
+        assert_eq!(event.kind(), "round_quiescent");
+        assert_eq!(event.round(), 7);
+    }
+
+    #[test]
+    fn reconcile_catches_quiescent_round_drift() {
+        let sink = CounterSink::new();
+        let mut report = SimulationReport::new(noc_energy::TechnologyLibrary::NOC_LINK_0_25UM);
+        report.quiescent_rounds = 3;
+        let err = sink.reconcile(&report).unwrap_err();
+        assert!(err.contains("quiescent_rounds"), "unexpected error: {err}");
     }
 
     #[test]

@@ -51,10 +51,12 @@
 mod config;
 mod engine;
 pub mod events;
+mod frontier;
 mod metrics;
 pub mod reference;
 pub mod seed;
 mod send_buffer;
+mod shard;
 pub mod spread;
 mod trace;
 pub mod tuning;

@@ -80,6 +80,10 @@ pub struct SimulationReport {
     pub adversarial_delays: u64,
     /// Frames that jumped a receive queue through adversarial reordering.
     pub adversarial_reorders: u64,
+    /// Rounds that ended with zero live messages while the run was still
+    /// incomplete (frames in the arrival delay line, or IPs not done) —
+    /// the active-frontier worklist's O(active) fast-path rounds.
+    pub quiescent_rounds: u64,
     /// Per-message lifecycle records, ordered by id so [`Self::records`]
     /// iterates identically however messages were injected or merged.
     records: BTreeMap<MessageId, MessageRecord>,
@@ -106,6 +110,7 @@ impl SimulationReport {
             byzantine_replays: 0,
             adversarial_delays: 0,
             adversarial_reorders: 0,
+            quiescent_rounds: 0,
             records: BTreeMap::new(),
             tech,
         }

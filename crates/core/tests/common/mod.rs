@@ -1,0 +1,229 @@
+//! Shared scaffolding for the engine equivalence suites: comparable
+//! report observables plus proptest strategies over topologies, fault
+//! models, crash schedules, and adversarial scenarios.
+//!
+//! Used by both `engine_equivalence.rs` (optimized engine vs the naive
+//! reference) and `shard_equivalence.rs` (shard-count independence), so
+//! the two suites sample from exactly the same scenario space.
+
+use noc_fabric::Topology;
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, ErrorModel, FaultModel, OverflowMode,
+};
+use proptest::prelude::*;
+use stochastic_noc::SimulationReport;
+
+/// Everything observable about a finished run, in comparable form.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Observables {
+    pub rounds_executed: u64,
+    pub completed: bool,
+    pub packets_sent: u64,
+    pub bits_sent: u64,
+    pub upsets_detected: u64,
+    pub upsets_undetected: u64,
+    pub overflow_drops: u64,
+    pub crash_drops: u64,
+    pub clock_slips: u64,
+    pub ttl_expirations: u64,
+    pub partition_drops: u64,
+    pub byzantine_forges: u64,
+    pub byzantine_replays: u64,
+    pub adversarial_delays: u64,
+    pub adversarial_reorders: u64,
+    /// `(id, source, destination, injected, delivered)` sorted by id.
+    pub records: Vec<(u64, usize, usize, u64, Option<u64>)>,
+}
+
+pub fn observe(report: &SimulationReport) -> Observables {
+    let mut records: Vec<_> = report
+        .records()
+        .map(|r| {
+            (
+                r.id.0,
+                r.source.index(),
+                r.destination.index(),
+                r.injected_round,
+                r.delivered_round,
+            )
+        })
+        .collect();
+    records.sort_unstable();
+    Observables {
+        rounds_executed: report.rounds_executed,
+        completed: report.completed,
+        packets_sent: report.packets_sent,
+        bits_sent: report.bits_sent.bits(),
+        upsets_detected: report.upsets_detected,
+        upsets_undetected: report.upsets_undetected,
+        overflow_drops: report.overflow_drops,
+        crash_drops: report.crash_drops,
+        clock_slips: report.clock_slips,
+        ttl_expirations: report.ttl_expirations,
+        partition_drops: report.partition_drops,
+        byzantine_forges: report.byzantine_forges,
+        byzantine_replays: report.byzantine_replays,
+        adversarial_delays: report.adversarial_delays,
+        adversarial_reorders: report.adversarial_reorders,
+        records,
+    }
+}
+
+pub fn topology_strategy() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        (2usize..6, 2usize..6).prop_map(|(w, h)| Topology::grid(w, h)),
+        (3usize..6, 3usize..6).prop_map(|(w, h)| Topology::torus(w, h)),
+        (4usize..12).prop_map(Topology::fully_connected),
+    ]
+}
+
+pub fn error_model_strategy() -> impl Strategy<Value = ErrorModel> {
+    prop_oneof![
+        Just(ErrorModel::RandomErrorVector),
+        Just(ErrorModel::RandomBitError),
+    ]
+}
+
+pub fn overflow_mode_strategy() -> impl Strategy<Value = OverflowMode> {
+    prop_oneof![
+        Just(OverflowMode::Probabilistic),
+        (2usize..6).prop_map(|capacity| OverflowMode::Structural { capacity }),
+    ]
+}
+
+pub fn fault_model_strategy() -> impl Strategy<Value = FaultModel> {
+    (
+        0.0f64..0.35,
+        0.0f64..0.25,
+        0.0f64..0.4,
+        0.0f64..0.15,
+        0.0f64..0.15,
+        error_model_strategy(),
+        overflow_mode_strategy(),
+    )
+        .prop_map(
+            |(p_upset, p_overflow, sigma, p_tiles, p_links, error_model, overflow_mode)| {
+                FaultModel::builder()
+                    .p_upset(p_upset)
+                    .p_overflow(p_overflow)
+                    .sigma_synch(sigma)
+                    .p_tiles(p_tiles)
+                    .p_links(p_links)
+                    .error_model(error_model)
+                    .overflow_mode(overflow_mode)
+                    .build()
+                    .expect("strategy generates valid models")
+            },
+        )
+}
+
+/// Raw `(index, round)` kill events, clamped to the topology inside the
+/// test since the node/link counts are topology-dependent.
+pub type KillEvents = Vec<(usize, u64)>;
+
+/// `(tile_kills, link_kills)` as raw indices.
+pub fn crash_strategy() -> impl Strategy<Value = (KillEvents, KillEvents)> {
+    (
+        proptest::collection::vec((0usize..64, 0u64..10), 0..3),
+        proptest::collection::vec((0usize..128, 0u64..10), 0..3),
+    )
+}
+
+/// Builds a concrete [`CrashSchedule`] from raw kill events.
+pub fn build_schedule(
+    tile_kills: &[(usize, u64)],
+    link_kills: &[(usize, u64)],
+    n: usize,
+    m: usize,
+) -> CrashSchedule {
+    let mut schedule = CrashSchedule::new();
+    for &(tile, round) in tile_kills {
+        schedule.kill_tile(tile % n, round);
+    }
+    for &(link, round) in link_kills {
+        schedule.kill_link(link % m, round);
+    }
+    schedule
+}
+
+/// Raw, topology-independent adversarial scenario parameters. Link and
+/// tile indices are clamped to the sampled topology inside the test.
+#[derive(Debug, Clone)]
+pub struct RawAdversary {
+    pub cut_links: Vec<usize>,
+    pub cut_from: u64,
+    pub cut_heal_delta: Option<u64>,
+    pub permanent_tile: Option<(usize, u64)>,
+    pub permanent_link: Option<(usize, u64)>,
+    pub delay_p: f64,
+    pub reorder_p: f64,
+    pub byzantine: Option<(usize, bool, u64)>,
+    pub byzantine_until: Option<u64>,
+}
+
+pub fn adversary_strategy() -> impl Strategy<Value = RawAdversary> {
+    // The vendored proptest has no `option::of`; gate each optional
+    // component on a sampled bool instead.
+    (
+        (
+            proptest::collection::vec(0usize..128, 0..4),
+            0u64..8,
+            (any::<bool>(), 1u64..12),
+        ),
+        (any::<bool>(), 0usize..64, 0u64..10),
+        (any::<bool>(), 0usize..128, 0u64..10),
+        (0.0f64..0.3, 0.0f64..0.3),
+        (any::<bool>(), 0usize..64, any::<bool>(), 1u64..64),
+        (any::<bool>(), 1u64..20),
+    )
+        .prop_map(
+            |(
+                (cut_links, cut_from, (heal_some, heal_delta)),
+                (tile_some, tile, tile_round),
+                (link_some, link, link_round),
+                (delay_p, reorder_p),
+                (byz_some, byz_tile, byz_forge, byz_activation),
+                (until_some, until),
+            )| RawAdversary {
+                cut_links,
+                cut_from,
+                cut_heal_delta: heal_some.then_some(heal_delta),
+                permanent_tile: tile_some.then_some((tile, tile_round)),
+                permanent_link: link_some.then_some((link, link_round)),
+                delay_p,
+                reorder_p,
+                byzantine: byz_some.then_some((byz_tile, byz_forge, byz_activation)),
+                byzantine_until: until_some.then_some(until),
+            },
+        )
+}
+
+/// Realizes a [`RawAdversary`] against concrete node/link counts.
+pub fn build_adversary(raw: &RawAdversary, n: usize, m: usize) -> AdversarialScenario {
+    let mut builder = AdversarialScenario::builder()
+        .delay_probability(raw.delay_p)
+        .reorder_probability(raw.reorder_p);
+    if !raw.cut_links.is_empty() {
+        let links: Vec<usize> = raw.cut_links.iter().map(|&l| l % m).collect();
+        let heal = raw.cut_heal_delta.map(|d| raw.cut_from + d);
+        builder = builder.cut_links(links, raw.cut_from, heal);
+    }
+    if let Some((tile, round)) = raw.permanent_tile {
+        builder = builder.kill_tile(tile % n, round);
+    }
+    if let Some((link, round)) = raw.permanent_link {
+        builder = builder.kill_link(link % m, round);
+    }
+    if let Some((tile, forge, activation)) = raw.byzantine {
+        builder = builder
+            .byzantine_tile(tile % n)
+            .byzantine_mode(if forge {
+                ByzantineMode::Forge
+            } else {
+                ByzantineMode::Replay
+            })
+            .byzantine_activation(activation as f64 / 64.0)
+            .byzantine_until(raw.byzantine_until);
+    }
+    builder.build().expect("strategy generates valid scenarios")
+}

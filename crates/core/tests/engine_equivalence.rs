@@ -4,216 +4,23 @@
 //! [`stochastic_noc::reference::ReferenceSimulation`] preserves the
 //! pre-optimization data flow (per-round allocations, full decode, one
 //! encode per tile, byte-cloned fan-out). The optimized engine replaces
-//! all of that with shared `Arc` frames, a per-round encode memo, and
-//! persistent arenas — none of which may change a single observable:
-//! every counter, the delivered set, and every latency must match across
-//! random topologies, fault models, crash schedules, and seeds.
+//! all of that with shared `Arc` frames, a per-round encode memo,
+//! persistent arenas, and a sharded round loop — none of which may change
+//! a single observable: every counter, the delivered set, and every
+//! latency must match across random topologies, fault models, crash
+//! schedules, seeds, and shard counts.
 
-use noc_fabric::{NodeId, Topology};
-use noc_faults::{
-    AdversarialScenario, ByzantineMode, CrashSchedule, ErrorModel, FaultModel, OverflowMode,
+mod common;
+
+use common::{
+    adversary_strategy, build_adversary, build_schedule, crash_strategy, fault_model_strategy,
+    observe, topology_strategy,
 };
+use noc_fabric::NodeId;
+use noc_faults::CrashSchedule;
 use proptest::prelude::*;
 use stochastic_noc::reference::ReferenceSimulation;
-use stochastic_noc::{SimulationBuilder, SimulationReport, StochasticConfig};
-
-/// Everything observable about a finished run, in comparable form.
-#[derive(Debug, PartialEq, Eq)]
-struct Observables {
-    rounds_executed: u64,
-    completed: bool,
-    packets_sent: u64,
-    bits_sent: u64,
-    upsets_detected: u64,
-    upsets_undetected: u64,
-    overflow_drops: u64,
-    crash_drops: u64,
-    clock_slips: u64,
-    ttl_expirations: u64,
-    partition_drops: u64,
-    byzantine_forges: u64,
-    byzantine_replays: u64,
-    adversarial_delays: u64,
-    adversarial_reorders: u64,
-    /// `(id, source, destination, injected, delivered)` sorted by id.
-    records: Vec<(u64, usize, usize, u64, Option<u64>)>,
-}
-
-fn observe(report: &SimulationReport) -> Observables {
-    let mut records: Vec<_> = report
-        .records()
-        .map(|r| {
-            (
-                r.id.0,
-                r.source.index(),
-                r.destination.index(),
-                r.injected_round,
-                r.delivered_round,
-            )
-        })
-        .collect();
-    records.sort_unstable();
-    Observables {
-        rounds_executed: report.rounds_executed,
-        completed: report.completed,
-        packets_sent: report.packets_sent,
-        bits_sent: report.bits_sent.bits(),
-        upsets_detected: report.upsets_detected,
-        upsets_undetected: report.upsets_undetected,
-        overflow_drops: report.overflow_drops,
-        crash_drops: report.crash_drops,
-        clock_slips: report.clock_slips,
-        ttl_expirations: report.ttl_expirations,
-        partition_drops: report.partition_drops,
-        byzantine_forges: report.byzantine_forges,
-        byzantine_replays: report.byzantine_replays,
-        adversarial_delays: report.adversarial_delays,
-        adversarial_reorders: report.adversarial_reorders,
-        records,
-    }
-}
-
-fn topology_strategy() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        (2usize..6, 2usize..6).prop_map(|(w, h)| Topology::grid(w, h)),
-        (3usize..6, 3usize..6).prop_map(|(w, h)| Topology::torus(w, h)),
-        (4usize..12).prop_map(Topology::fully_connected),
-    ]
-}
-
-fn error_model_strategy() -> impl Strategy<Value = ErrorModel> {
-    prop_oneof![
-        Just(ErrorModel::RandomErrorVector),
-        Just(ErrorModel::RandomBitError),
-    ]
-}
-
-fn overflow_mode_strategy() -> impl Strategy<Value = OverflowMode> {
-    prop_oneof![
-        Just(OverflowMode::Probabilistic),
-        (2usize..6).prop_map(|capacity| OverflowMode::Structural { capacity }),
-    ]
-}
-
-fn fault_model_strategy() -> impl Strategy<Value = FaultModel> {
-    (
-        0.0f64..0.35,
-        0.0f64..0.25,
-        0.0f64..0.4,
-        0.0f64..0.15,
-        0.0f64..0.15,
-        error_model_strategy(),
-        overflow_mode_strategy(),
-    )
-        .prop_map(
-            |(p_upset, p_overflow, sigma, p_tiles, p_links, error_model, overflow_mode)| {
-                FaultModel::builder()
-                    .p_upset(p_upset)
-                    .p_overflow(p_overflow)
-                    .sigma_synch(sigma)
-                    .p_tiles(p_tiles)
-                    .p_links(p_links)
-                    .error_model(error_model)
-                    .overflow_mode(overflow_mode)
-                    .build()
-                    .expect("strategy generates valid models")
-            },
-        )
-}
-
-/// Raw `(index, round)` kill events, clamped to the topology inside the
-/// test since the node/link counts are topology-dependent.
-type KillEvents = Vec<(usize, u64)>;
-
-/// `(tile_kills, link_kills)` as raw indices.
-fn crash_strategy() -> impl Strategy<Value = (KillEvents, KillEvents)> {
-    (
-        proptest::collection::vec((0usize..64, 0u64..10), 0..3),
-        proptest::collection::vec((0usize..128, 0u64..10), 0..3),
-    )
-}
-
-/// Raw, topology-independent adversarial scenario parameters. Link and
-/// tile indices are clamped to the sampled topology inside the test.
-#[derive(Debug, Clone)]
-struct RawAdversary {
-    cut_links: Vec<usize>,
-    cut_from: u64,
-    cut_heal_delta: Option<u64>,
-    permanent_tile: Option<(usize, u64)>,
-    permanent_link: Option<(usize, u64)>,
-    delay_p: f64,
-    reorder_p: f64,
-    byzantine: Option<(usize, bool, u64)>,
-    byzantine_until: Option<u64>,
-}
-
-fn adversary_strategy() -> impl Strategy<Value = RawAdversary> {
-    // The vendored proptest has no `option::of`; gate each optional
-    // component on a sampled bool instead.
-    (
-        (
-            proptest::collection::vec(0usize..128, 0..4),
-            0u64..8,
-            (any::<bool>(), 1u64..12),
-        ),
-        (any::<bool>(), 0usize..64, 0u64..10),
-        (any::<bool>(), 0usize..128, 0u64..10),
-        (0.0f64..0.3, 0.0f64..0.3),
-        (any::<bool>(), 0usize..64, any::<bool>(), 1u64..64),
-        (any::<bool>(), 1u64..20),
-    )
-        .prop_map(
-            |(
-                (cut_links, cut_from, (heal_some, heal_delta)),
-                (tile_some, tile, tile_round),
-                (link_some, link, link_round),
-                (delay_p, reorder_p),
-                (byz_some, byz_tile, byz_forge, byz_activation),
-                (until_some, until),
-            )| RawAdversary {
-                cut_links,
-                cut_from,
-                cut_heal_delta: heal_some.then_some(heal_delta),
-                permanent_tile: tile_some.then_some((tile, tile_round)),
-                permanent_link: link_some.then_some((link, link_round)),
-                delay_p,
-                reorder_p,
-                byzantine: byz_some.then_some((byz_tile, byz_forge, byz_activation)),
-                byzantine_until: until_some.then_some(until),
-            },
-        )
-}
-
-/// Realizes a [`RawAdversary`] against concrete node/link counts.
-fn build_adversary(raw: &RawAdversary, n: usize, m: usize) -> AdversarialScenario {
-    let mut builder = AdversarialScenario::builder()
-        .delay_probability(raw.delay_p)
-        .reorder_probability(raw.reorder_p);
-    if !raw.cut_links.is_empty() {
-        let links: Vec<usize> = raw.cut_links.iter().map(|&l| l % m).collect();
-        let heal = raw.cut_heal_delta.map(|d| raw.cut_from + d);
-        builder = builder.cut_links(links, raw.cut_from, heal);
-    }
-    if let Some((tile, round)) = raw.permanent_tile {
-        builder = builder.kill_tile(tile % n, round);
-    }
-    if let Some((link, round)) = raw.permanent_link {
-        builder = builder.kill_link(link % m, round);
-    }
-    if let Some((tile, forge, activation)) = raw.byzantine {
-        builder = builder
-            .byzantine_tile(tile % n)
-            .byzantine_mode(if forge {
-                ByzantineMode::Forge
-            } else {
-                ByzantineMode::Replay
-            })
-            .byzantine_activation(activation as f64 / 64.0)
-            .byzantine_until(raw.byzantine_until);
-    }
-    builder.build().expect("strategy generates valid scenarios")
-}
+use stochastic_noc::{SimulationBuilder, StochasticConfig};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -226,6 +33,7 @@ proptest! {
         model in fault_model_strategy(),
         (tile_kills, link_kills) in crash_strategy(),
         seed in any::<u64>(),
+        shards in prop_oneof![Just(1usize), Just(2), Just(3), Just(7), Just(8)],
         injections in proptest::collection::vec(
             (0usize..64, 0usize..64, proptest::collection::vec(any::<u8>(), 0..24)),
             1..4,
@@ -233,13 +41,7 @@ proptest! {
     ) {
         let n = topology.node_count();
         let m = topology.link_count();
-        let mut schedule = CrashSchedule::new();
-        for (tile, round) in tile_kills {
-            schedule.kill_tile(tile % n, round);
-        }
-        for (link, round) in link_kills {
-            schedule.kill_link(link % m, round);
-        }
+        let schedule = build_schedule(&tile_kills, &link_kills, n, m);
         let config = StochasticConfig::new(p, ttl)
             .expect("valid config")
             .with_max_rounds(50);
@@ -249,6 +51,7 @@ proptest! {
             .fault_model(model)
             .crash_schedule(schedule.clone())
             .seed(seed)
+            .shards(shards)
             .build();
         let mut reference =
             ReferenceSimulation::new(topology, config, model, schedule, seed);
@@ -274,6 +77,7 @@ proptest! {
         model in fault_model_strategy(),
         raw in adversary_strategy(),
         seed in any::<u64>(),
+        shards in prop_oneof![Just(1usize), Just(2), Just(3), Just(7), Just(8)],
         injections in proptest::collection::vec(
             (0usize..64, 0usize..64, proptest::collection::vec(any::<u8>(), 1..24)),
             1..4,
@@ -291,6 +95,7 @@ proptest! {
             .fault_model(model)
             .adversary(adversary.clone())
             .seed(seed)
+            .shards(shards)
             .build();
         let mut reference = ReferenceSimulation::new_with_adversary(
             topology,

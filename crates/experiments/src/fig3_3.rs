@@ -32,6 +32,7 @@ fn builder(seed: u64) -> SimulationBuilder {
                 .expect("valid")
                 .with_max_rounds(40),
         )
+        .shards(crate::runner::default_shards())
         .seed(seed)
 }
 

@@ -134,6 +134,7 @@ fn builder(scale: Scale, adversary: &AdversarialScenario, seed: u64) -> Simulati
         .max_rounds(60)
         .fault_model(model)
         .adversary(adversary.clone())
+        .shards(crate::runner::default_shards())
         .seed(seed)
 }
 

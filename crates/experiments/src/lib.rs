@@ -30,6 +30,7 @@ pub mod fig4_9;
 pub mod fig5_3;
 pub mod grid_spread;
 pub mod hostile;
+pub mod mega_grid;
 pub mod runner;
 pub mod stats;
 

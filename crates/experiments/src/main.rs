@@ -1,12 +1,15 @@
 //! CLI entry point: regenerate any figure of the paper.
 //!
 //! ```text
-//! experiments <figure> [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
-//! experiments all [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
+//! experiments <figure> [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
+//! experiments all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
 //! ```
 //!
 //! `--threads N` pins the Monte-Carlo worker count (default:
 //! auto-detect); output tables are bit-identical for every `N`.
+//! `--shards N` splits each simulation's tiles across N scoped worker
+//! threads inside a trial (default 1 = sequential, 0 = auto-detect);
+//! tables are bit-identical for every `N` here too.
 //! `--seed N` re-roots every figure's trial-seed derivation (default 0).
 //! `--trace-events PATH` streams a JSONL event log of one representative
 //! trial to PATH (currently supported by `fig3-3` and `hostile`).
@@ -17,7 +20,7 @@
 
 use noc_experiments::{
     ablations, error_models, fig3_1, fig3_3, fig4_10, fig4_11, fig4_4, fig4_5, fig4_6, fig4_8,
-    fig4_9, fig5_3, grid_spread, hostile, runner, Scale,
+    fig4_9, fig5_3, grid_spread, hostile, mega_grid, runner, Scale,
 };
 
 const FIGURES: &[&str] = &[
@@ -35,6 +38,7 @@ const FIGURES: &[&str] = &[
     "ablations",
     "grid-spread",
     "hostile",
+    "mega-grid",
 ];
 
 fn run_figure(name: &str, scale: Scale) -> bool {
@@ -53,6 +57,7 @@ fn run_figure(name: &str, scale: Scale) -> bool {
         "ablations" => ablations::print(&ablations::run(scale)),
         "grid-spread" => grid_spread::print(&grid_spread::run(scale)),
         "hostile" => hostile::print(&hostile::run(scale)),
+        "mega-grid" => mega_grid::print(&mega_grid::run(scale)),
         _ => return false,
     }
     true
@@ -110,6 +115,9 @@ fn main() {
     if let Some(threads) = parse_flag(&args, "--threads") {
         runner::set_default_threads(usize::try_from(threads).unwrap_or(usize::MAX));
     }
+    if let Some(shards) = parse_flag(&args, "--shards") {
+        runner::set_default_shards(usize::try_from(shards).unwrap_or(usize::MAX));
+    }
     if let Some(seed) = parse_flag(&args, "--seed") {
         runner::set_base_seed(seed);
     }
@@ -124,6 +132,7 @@ fn main() {
                 return false;
             }
             if *a == "--threads"
+                || *a == "--shards"
                 || *a == "--seed"
                 || *a == "--trace-events"
                 || *a == "--reconcile-json"
@@ -138,7 +147,7 @@ fn main() {
 
     if targets.is_empty() || targets == ["help"] {
         eprintln!(
-            "usage: experiments <figure>|all [--full] [--threads N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]"
+            "usage: experiments <figure>|all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]"
         );
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });

@@ -1,0 +1,178 @@
+//! **Mega-grid** — shard-engine demonstration at scales far beyond the
+//! paper's 4×4 fabric.
+//!
+//! Floods a 64×64 (and, at `--full`, a 128×128) grid with a burst of
+//! corner-to-corner broadcasts, fault-free and under the baseline fault
+//! model, exercising the intra-trial sharded round loop and the
+//! active-frontier worklist. The table reports only deterministic
+//! quantities (rounds, packets, deliveries, quiescent rounds), so its
+//! bytes are identical for every `--shards` and `--threads` value;
+//! wall-clock observability goes to stderr via the runner summary.
+
+use noc_fabric::{NodeId, Topology};
+use noc_faults::FaultModel;
+use stochastic_noc::{SimulationBuilder, StochasticConfig};
+
+use crate::{runner, Scale, TrialRunner};
+
+/// One mega-grid configuration's aggregate outcome.
+#[derive(Debug, Clone)]
+pub struct MegaGridRow {
+    /// Grid side (the fabric is `side × side`).
+    pub side: usize,
+    /// "fault-free" or "faulty".
+    pub regime: &'static str,
+    /// Broadcasts injected.
+    pub messages: usize,
+    /// Rounds the engine executed.
+    pub rounds: u64,
+    /// Messages that reached their destination.
+    pub delivered: usize,
+    /// Total frames pushed onto links.
+    pub packets_sent: u64,
+    /// Rounds that ended with empty buffers but frames still in flight.
+    pub quiescent_rounds: u64,
+}
+
+/// The baseline fault regime used by the faulty rows.
+fn faulty_model() -> FaultModel {
+    FaultModel::builder()
+        .p_upset(0.05)
+        .p_overflow(0.02)
+        .sigma_synch(0.1)
+        .build()
+        .expect("valid model")
+}
+
+fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> MegaGridRow {
+    let n = side * side;
+    // Enough TTL to cross the grid diagonal with margin, capped at u8.
+    let ttl = u8::try_from((2 * (side - 1) + side / 2).min(250)).expect("capped");
+    let model = match regime {
+        "faulty" => faulty_model(),
+        _ => FaultModel::none(),
+    };
+    let mut sim = SimulationBuilder::new(Topology::grid(side, side))
+        .config(
+            StochasticConfig::new(0.75, ttl)
+                .expect("valid config")
+                .with_max_rounds(4 * side as u64)
+                .with_termination(true),
+        )
+        .fault_model(model)
+        .shards(runner::default_shards())
+        .seed(seed)
+        .build();
+    // Broadcast burst: sources striped across the fabric, each targeting
+    // the diagonally opposite tile, so traffic crosses every shard
+    // boundary in both directions.
+    let ids: Vec<_> = (0..messages)
+        .map(|i| {
+            let src = (i * n) / messages;
+            sim.inject(NodeId(src), NodeId(n - 1 - src), vec![0x5A; 8])
+        })
+        .collect();
+    let report = sim.run_to_report();
+    MegaGridRow {
+        side,
+        regime,
+        messages,
+        rounds: report.rounds_executed,
+        delivered: ids.iter().filter(|&&id| report.delivered(id)).count(),
+        packets_sent: report.packets_sent,
+        quiescent_rounds: report.quiescent_rounds,
+    }
+}
+
+/// Runs the mega-grid scenarios for the given scale.
+pub fn run(scale: Scale) -> Vec<MegaGridRow> {
+    let configs: Vec<(usize, &'static str, usize)> = match scale {
+        Scale::Quick => vec![(64, "fault-free", 8), (64, "faulty", 8)],
+        Scale::Full => vec![
+            (64, "fault-free", 32),
+            (64, "faulty", 32),
+            (128, "fault-free", 32),
+            (128, "faulty", 32),
+        ],
+    };
+    configs
+        .into_iter()
+        .map(|(side, regime, messages)| {
+            let label = format!("mega-grid/{side}/{regime}");
+            let seed = TrialRunner::for_figure(&label, 1).trial_seed(0);
+            let rows = TrialRunner::for_figure(&label, 1)
+                .run(move |_| run_one(side, regime, messages, seed));
+            rows.into_iter().next().expect("one trial per config")
+        })
+        .collect()
+}
+
+/// Prints the mega-grid table.
+pub fn print(rows: &[MegaGridRow]) {
+    crate::stats::print_table_header(
+        "Mega-grid: sharded round engine at 64x64 and beyond",
+        &[
+            "grid",
+            "regime",
+            "messages",
+            "delivered",
+            "rounds",
+            "packets sent",
+            "quiescent rounds",
+        ],
+    );
+    for r in rows {
+        println!(
+            "{}x{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.side,
+            r.side,
+            r.regime,
+            r.messages,
+            r.delivered,
+            r.rounds,
+            r.packets_sent,
+            r.quiescent_rounds,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_floods_the_64_grid() {
+        let rows = run(Scale::Quick);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.side, 64);
+            assert!(row.packets_sent > 0, "{} moved no traffic", row.regime);
+            assert!(
+                row.delivered > 0,
+                "{} delivered nothing out of {}",
+                row.regime,
+                row.messages
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_shard_count_independent() {
+        let baseline = run_one(32, "faulty", 4, 99);
+        for shards in [2usize, 8] {
+            runner::set_default_shards(shards);
+            let sharded = run_one(32, "faulty", 4, 99);
+            runner::set_default_shards(1);
+            assert_eq!(sharded.rounds, baseline.rounds, "shards={shards}");
+            assert_eq!(sharded.delivered, baseline.delivered, "shards={shards}");
+            assert_eq!(
+                sharded.packets_sent, baseline.packets_sent,
+                "shards={shards}"
+            );
+            assert_eq!(
+                sharded.quiescent_rounds, baseline.quiescent_rounds,
+                "shards={shards}"
+            );
+        }
+    }
+}

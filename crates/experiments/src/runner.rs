@@ -43,6 +43,12 @@ use stochastic_noc::seed::{derive_labeled_seed, derive_trial_seed};
 /// Process-wide default worker count; 0 means "auto-detect".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
 
+/// Process-wide intra-trial shard count (`--shards N`); 0 means
+/// "auto-detect". Unlike `--threads` (which fans out whole trials),
+/// shards split the tiles of a single simulation across scoped worker
+/// threads; reports are byte-identical for every value.
+static DEFAULT_SHARDS: AtomicUsize = AtomicUsize::new(1);
+
 /// Process-wide base seed every figure derives its sweep seed from.
 static BASE_SEED: AtomicU64 = AtomicU64::new(0);
 
@@ -95,6 +101,21 @@ pub fn set_default_threads(threads: usize) {
 /// The process-wide default worker count; `0` means auto-detect.
 pub fn default_threads() -> usize {
     DEFAULT_THREADS.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide intra-trial shard count (`--shards N`).
+///
+/// `0` requests auto-detection inside the engine
+/// ([`stochastic_noc::SimulationBuilder::shards`]); the default is 1
+/// (fully sequential rounds). Runs already in flight are unaffected.
+pub fn set_default_shards(shards: usize) {
+    DEFAULT_SHARDS.store(shards, Ordering::Relaxed);
+}
+
+/// The process-wide intra-trial shard count figures pass to
+/// [`stochastic_noc::SimulationBuilder::shards`]; `0` means auto-detect.
+pub fn default_shards() -> usize {
+    DEFAULT_SHARDS.load(Ordering::Relaxed)
 }
 
 /// Sets the process-wide base seed (`--seed N`). Defaults to 0.
@@ -341,6 +362,14 @@ mod tests {
         // Stable for a fixed global base seed.
         let a2 = TrialRunner::for_figure("fig4-4", 4);
         assert_eq!(a.trial_seed(0), a2.trial_seed(0));
+    }
+
+    #[test]
+    fn shard_default_roundtrips() {
+        assert_eq!(default_shards(), 1, "sequential rounds by default");
+        set_default_shards(8);
+        assert_eq!(default_shards(), 8);
+        set_default_shards(1);
     }
 
     #[test]

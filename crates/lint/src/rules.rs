@@ -93,7 +93,9 @@ const LIB_CRATES: &[&str] = &[
 /// Files forming the per-round hot path.
 const HOT_PATH_FILES: &[&str] = &[
     "crates/core/src/engine.rs",
+    "crates/core/src/frontier.rs",
     "crates/core/src/send_buffer.rs",
+    "crates/core/src/shard.rs",
     "crates/faults/src/injector.rs",
 ];
 
