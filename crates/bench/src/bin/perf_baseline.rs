@@ -18,9 +18,14 @@
 //! Since the event-tracing layer landed, the optimized engine routes
 //! every decision point through an [`stochastic_noc::EventSink`]. A
 //! second measurement section times the 8×8 workloads with the default
-//! build, an explicit `NullSink`, and a `CounterSink`, and gates the
-//! NullSink path at ≤ 2% overhead: the monomorphized no-op sink must
-//! not cost throughput (the `CounterSink` number is informational).
+//! build, an explicit `NullSink`, a `CounterSink` (preallocated dense
+//! tables, via `CounterSink::with_capacity`), and an installed
+//! `EngineObs` (the wall-clock observability plane behind
+//! `--metrics-out`). The observability plane is gated at ≤ 5%
+//! (`CounterSink` stays informational); the NullSink column compares
+//! `build()` against itself — `build()` *is* `build_with_sink(NullSink)`
+//! — so it serves as a same-code noise canary that disarms the
+//! percentage gates on hosts too noisy to resolve them.
 //!
 //! Since the sharded round engine landed, a third section times
 //! mega-grid flooding (64×64, plus 128×128 at `--scale full`) at
@@ -36,7 +41,8 @@
 #![forbid(unsafe_code)]
 
 use std::fmt::Write as _;
-use std::time::Instant;
+
+use noc_obs::Stopwatch;
 
 use noc_faults::{CrashSchedule, ErrorModel, FaultModel};
 use stochastic_noc::reference::ReferenceSimulation;
@@ -148,7 +154,7 @@ fn pairs(side: usize, k: usize) -> Vec<(NodeId, NodeId)> {
 fn run_reference(w: &Workload, reps: usize) -> Measurement {
     let mut rounds = 0u64;
     let mut packets = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for rep in 0..reps {
         let mut sim = ReferenceSimulation::new(
             Topology::grid(w.side, w.side),
@@ -165,7 +171,7 @@ fn run_reference(w: &Workload, reps: usize) -> Measurement {
         rounds += report.rounds_executed;
         packets += report.packets_sent;
     }
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = start.elapsed_secs();
     Measurement {
         rounds,
         packets,
@@ -177,7 +183,7 @@ fn run_reference(w: &Workload, reps: usize) -> Measurement {
 fn run_optimized(w: &Workload, reps: usize) -> Measurement {
     let mut rounds = 0u64;
     let mut packets = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for rep in 0..reps {
         let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
             .config(w.config)
@@ -192,7 +198,7 @@ fn run_optimized(w: &Workload, reps: usize) -> Measurement {
         rounds += report.rounds_executed;
         packets += report.packets_sent;
     }
-    let seconds = start.elapsed().as_secs_f64();
+    let seconds = start.elapsed_secs();
     Measurement {
         rounds,
         packets,
@@ -209,7 +215,7 @@ fn run_optimized(w: &Workload, reps: usize) -> Measurement {
 fn sink_batch<S: EventSink, F: Fn() -> S>(w: &Workload, reps: usize, sink: F) -> (f64, u64, u64) {
     let mut rounds = 0u64;
     let mut packets = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for rep in 0..reps {
         let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
             .config(w.config)
@@ -224,14 +230,14 @@ fn sink_batch<S: EventSink, F: Fn() -> S>(w: &Workload, reps: usize, sink: F) ->
         rounds += report.rounds_executed;
         packets += report.packets_sent;
     }
-    (start.elapsed().as_secs_f64(), rounds, packets)
+    (start.elapsed_secs(), rounds, packets)
 }
 
 /// Like [`sink_batch`] but through the default `build()` path.
 fn default_batch(w: &Workload, reps: usize) -> (f64, u64, u64) {
     let mut rounds = 0u64;
     let mut packets = 0u64;
-    let start = Instant::now();
+    let start = Stopwatch::start();
     for rep in 0..reps {
         let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
             .config(w.config)
@@ -246,14 +252,40 @@ fn default_batch(w: &Workload, reps: usize) -> (f64, u64, u64) {
         rounds += report.rounds_executed;
         packets += report.packets_sent;
     }
-    (start.elapsed().as_secs_f64(), rounds, packets)
+    (start.elapsed_secs(), rounds, packets)
 }
 
-/// Best-of interleaved timings for one workload across sink variants.
+/// Like [`default_batch`] but with an [`stochastic_noc::EngineObs`]
+/// installed, timing the wall-clock observability plane's overhead
+/// (span stopwatches around every engine phase plus histogram records).
+fn obs_batch(w: &Workload, reps: usize, obs: &stochastic_noc::EngineObs) -> (f64, u64, u64) {
+    let mut rounds = 0u64;
+    let mut packets = 0u64;
+    let start = Stopwatch::start();
+    for rep in 0..reps {
+        let mut sim = SimulationBuilder::new(Topology::grid(w.side, w.side))
+            .config(w.config)
+            .fault_model(fault_model(w.faulty))
+            // noc-lint: allow(ambient-rng, reason = "bench seeds are frozen workload ids: rederiving them changes the timed workload and breaks the BENCH_PR2.json perf trajectory; stream independence is irrelevant to timing")
+            .seed(SEED + rep as u64)
+            .build_with_obs(obs.clone());
+        for (s, d) in pairs(w.side, w.injections) {
+            sim.inject(s, d, vec![0xA5; 16]);
+        }
+        let report = sim.run_to_report();
+        rounds += report.rounds_executed;
+        packets += report.packets_sent;
+    }
+    (start.elapsed_secs(), rounds, packets)
+}
+
+/// Best-of interleaved timings for one workload across sink variants
+/// and the wall-clock observability plane.
 struct SinkOverhead {
     default_secs: f64,
     null_secs: f64,
     counter_secs: f64,
+    obs_secs: f64,
 }
 
 impl SinkOverhead {
@@ -266,6 +298,11 @@ impl SinkOverhead {
     fn counter_overhead(&self) -> f64 {
         self.counter_secs / self.default_secs.max(1e-12) - 1.0
     }
+
+    /// Observability-plane overhead over the default build, gated at 5%.
+    fn obs_overhead(&self) -> f64 {
+        self.obs_secs / self.default_secs.max(1e-12) - 1.0
+    }
 }
 
 /// Interleaves `samples` batches of each variant and keeps the best
@@ -273,11 +310,20 @@ impl SinkOverhead {
 /// frequency ramps) hit every variant equally and drop out of the
 /// comparison.
 fn measure_sink_overhead(w: &Workload, reps: usize, samples: usize) -> SinkOverhead {
-    let baseline = default_batch(w, reps); // warm-up + reference totals
+    // Warm-up + reference totals.
+    let baseline = default_batch(w, reps);
+    // One registry for the whole measurement: registration happens here,
+    // so the timed batches pay only the per-span record cost — the shape
+    // `--metrics-out` users see after the first trial.
+    let metrics = noc_obs::Metrics::new();
+    let obs = stochastic_noc::EngineObs::new(&metrics);
+    let topo = Topology::grid(w.side, w.side);
+    let (nodes, links) = (topo.node_count(), topo.link_count());
     let mut best = SinkOverhead {
         default_secs: f64::INFINITY,
         null_secs: f64::INFINITY,
         counter_secs: f64::INFINITY,
+        obs_secs: f64::INFINITY,
     };
     for _ in 0..samples {
         let (t, r, p) = default_batch(w, reps);
@@ -296,7 +342,7 @@ fn measure_sink_overhead(w: &Workload, reps: usize, samples: usize) -> SinkOverh
             w.name
         );
         best.null_secs = best.null_secs.min(t);
-        let (t, r, p) = sink_batch(w, reps, CounterSink::new);
+        let (t, r, p) = sink_batch(w, reps, || CounterSink::with_capacity(nodes, links));
         assert_eq!(
             (r, p),
             (baseline.1, baseline.2),
@@ -304,6 +350,14 @@ fn measure_sink_overhead(w: &Workload, reps: usize, samples: usize) -> SinkOverh
             w.name
         );
         best.counter_secs = best.counter_secs.min(t);
+        let (t, r, p) = obs_batch(w, reps, &obs);
+        assert_eq!(
+            (r, p),
+            (baseline.1, baseline.2),
+            "{}: EngineObs perturbed",
+            w.name
+        );
+        best.obs_secs = best.obs_secs.min(t);
     }
     best
 }
@@ -365,9 +419,9 @@ fn time_mega(w: &MegaWorkload, shards: usize, samples: usize) -> (f64, u64, u64)
             let src = (i * n) / w.messages;
             sim.inject(NodeId(src), NodeId(n - 1 - src), vec![0xA5; 16]);
         }
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let report = sim.run_to_report();
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(start.elapsed_secs());
         totals = (report.rounds_executed, report.packets_sent);
     }
     (best, totals.0, totals.1)
@@ -412,9 +466,9 @@ fn time_linger(samples: usize) -> (f64, u64, u64) {
             .seed(SEED)
             .build();
         sim.inject(NodeId(1), NodeId(64 * 64 - 1), vec![0xA5; 16]);
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let report = sim.run_to_report();
-        best = best.min(start.elapsed().as_secs_f64());
+        best = best.min(start.elapsed_secs());
         totals = (report.rounds_executed, report.quiescent_rounds);
     }
     (best, totals.0, totals.1)
@@ -522,25 +576,46 @@ fn main() {
     json.push_str("  ],\n");
 
     // Event-sink overhead on the 8x8 matrix: the default build, an
-    // explicit NullSink and a CounterSink must execute the identical
-    // schedule; the NullSink path is gated at <= 2% overhead.
-    let samples = if reps >= 25 { 7 } else { 5 };
+    // explicit NullSink, a CounterSink and an EngineObs-instrumented
+    // build must execute the identical schedule; the observability
+    // plane is gated at <= 5%, with the same-code NullSink column as
+    // the noise canary that arms the gate. Quick-scale batches (reps=3)
+    // are milliseconds long, so take the min over more interleaved
+    // samples instead of longer batches — that converges both variants'
+    // minima without stretching CI wall-clock.
+    let samples = if reps >= 25 { 7 } else { 15 };
+    let overhead_reps = reps;
     json.push_str("  \"sink_overhead\": [\n");
     let grid8: Vec<&Workload> = all.iter().filter(|w| w.side == 8).collect();
     for (i, w) in grid8.iter().enumerate() {
-        let m = measure_sink_overhead(w, reps, samples);
+        let m = measure_sink_overhead(w, overhead_reps, samples);
         let null_pct = 100.0 * m.null_overhead();
         let counter_pct = 100.0 * m.counter_overhead();
+        let obs_pct = 100.0 * m.obs_overhead();
+        // `build()` IS `build_with_sink(NullSink)`, so the null column
+        // compares identical code against itself: it is a noise canary.
+        // When the same-code spread exceeds the 2% gate, this host
+        // cannot resolve single-digit overheads and the gates disarm —
+        // the full-scale run on a quiet machine is the one of record.
+        let gates_armed = m.null_overhead().abs() <= 0.02;
         eprintln!(
-            "{:<28} NullSink overhead {:>+6.2}%   CounterSink overhead {:>+6.2}%   (best of {samples})",
-            w.name, null_pct, counter_pct
+            "{:<28} NullSink overhead {:>+6.2}%   CounterSink overhead {:>+6.2}%   EngineObs overhead {:>+6.2}%   (best of {samples}{})",
+            w.name,
+            null_pct,
+            counter_pct,
+            obs_pct,
+            if gates_armed {
+                ""
+            } else {
+                "; gates disarmed: noisy host"
+            }
         );
-        if m.null_overhead() > 0.02 {
-            failures.push(format!("{}: NullSink overhead {null_pct:.2}% > 2%", w.name));
+        if gates_armed && m.obs_overhead() > 0.05 {
+            failures.push(format!("{}: EngineObs overhead {obs_pct:.2}% > 5%", w.name));
         }
         json.push_str("    {\n");
         let _ = writeln!(json, "      \"name\": \"{}\",", w.name);
-        let _ = writeln!(json, "      \"runs_per_sample\": {reps},");
+        let _ = writeln!(json, "      \"runs_per_sample\": {overhead_reps},");
         let _ = writeln!(json, "      \"best_of_samples\": {samples},");
         let _ = writeln!(json, "      \"default_seconds\": {:.6},", m.default_secs);
         let _ = writeln!(json, "      \"null_sink_seconds\": {:.6},", m.null_secs);
@@ -549,8 +624,11 @@ fn main() {
             "      \"counter_sink_seconds\": {:.6},",
             m.counter_secs
         );
+        let _ = writeln!(json, "      \"obs_seconds\": {:.6},", m.obs_secs);
         let _ = writeln!(json, "      \"null_overhead_pct\": {null_pct:.3},");
-        let _ = writeln!(json, "      \"counter_overhead_pct\": {counter_pct:.3}");
+        let _ = writeln!(json, "      \"counter_overhead_pct\": {counter_pct:.3},");
+        let _ = writeln!(json, "      \"obs_overhead_pct\": {obs_pct:.3},");
+        let _ = writeln!(json, "      \"gates_armed\": {gates_armed}");
         json.push_str(if i + 1 == grid8.len() {
             "    }\n"
         } else {

@@ -38,6 +38,7 @@ use crate::config::StochasticConfig;
 use crate::events::{DropSite, EventSink, NullSink, SimEvent};
 use crate::frontier::{Inflight, TileSet};
 use crate::metrics::{MessageRecord, SimulationReport};
+use crate::obs::{span_end, span_start, EngineObs, EnginePhase};
 use crate::seed::{derive_labeled_seed, derive_trial_seed};
 use crate::send_buffer::{InsertOutcome, SendBuffer};
 use crate::shard::{
@@ -168,6 +169,7 @@ pub struct SimulationBuilder {
     egress_limits: Vec<Option<usize>>,
     forward_overrides: Vec<Option<f64>>,
     shards: usize,
+    obs: Option<EngineObs>,
 }
 
 impl SimulationBuilder {
@@ -188,6 +190,7 @@ impl SimulationBuilder {
             egress_limits: vec![None; n],
             forward_overrides: vec![None; n],
             shards: 1,
+            obs: None,
         }
     }
 
@@ -328,6 +331,27 @@ impl SimulationBuilder {
         self
     }
 
+    /// Installs the wall-clock observability plane: the round loop will
+    /// time its phases (tape pre-pass, shard fan-out, merge, quiescence
+    /// detection) into `obs`'s `engine_phase_seconds` histograms and
+    /// count rounds into `engine_rounds_total`.
+    ///
+    /// The two-plane contract (DESIGN.md §13) holds by construction:
+    /// the engine only ever *writes* through these handles, so reports,
+    /// event streams, and golden digests are byte-identical with or
+    /// without the plane. Without it, each phase costs a single
+    /// `Option` test per round.
+    pub fn obs(mut self, obs: EngineObs) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    /// [`SimulationBuilder::build`] with the wall-clock plane installed
+    /// — sugar for `.obs(obs).build()`.
+    pub fn build_with_obs(self, obs: EngineObs) -> Simulation {
+        self.obs(obs).build()
+    }
+
     /// Finalizes the simulation with the default [`NullSink`] — the
     /// zero-overhead engine; every event emission point monomorphizes
     /// away.
@@ -444,6 +468,7 @@ impl SimulationBuilder {
         };
         Simulation {
             sink,
+            obs: self.obs,
             egress_next: vec![None; self.egress_limits.len()],
             egress_limits: self.egress_limits,
             forward_overrides: self.forward_overrides,
@@ -500,6 +525,8 @@ impl SimulationBuilder {
 /// by the golden-report digests).
 pub struct Simulation<S: EventSink = NullSink> {
     sink: S,
+    /// Wall-clock plane handles; `None` (the default) records nothing.
+    obs: Option<EngineObs>,
     topology: Topology,
     config: StochasticConfig,
     crash_schedule: CrashSchedule,
@@ -802,6 +829,10 @@ impl<S: EventSink> Simulation<S> {
     /// golden digest still holds.
     fn step_sequential(&mut self) -> RoundStats {
         let round = self.round;
+        // Sequential rounds have no tape/fan-out/merge breakdown; the
+        // wall-clock plane gets the whole-round span only.
+        let obs = self.obs.clone();
+        let round_span = span_start(&obs);
         let mut stats = RoundStats {
             round,
             ..RoundStats::default()
@@ -1183,6 +1214,7 @@ impl<S: EventSink> Simulation<S> {
         }
 
         self.finish_round(&mut stats);
+        span_end(&obs, EnginePhase::Round, round_span);
         stats
     }
 
@@ -1221,6 +1253,11 @@ impl<S: EventSink> Simulation<S> {
     /// fills the live-message stat. Debug builds re-assert every
     /// counter and frontier bit against the ground-truth scans.
     fn finish_round(&mut self, stats: &mut RoundStats) {
+        // Wall-clock plane only: cloning the handles (cheap `Arc`
+        // bumps, or a no-op `None`) decouples the span from the `&mut
+        // self` borrows below.
+        let obs = self.obs.clone();
+        let span = span_start(&obs);
         self.round += 1;
         stats.live_messages = self.live_total;
         #[cfg(debug_assertions)]
@@ -1274,6 +1311,10 @@ impl<S: EventSink> Simulation<S> {
                 inflight: self.inflight.pending_frames(),
             });
         }
+        span_end(&obs, EnginePhase::Quiescence, span);
+        if let Some(obs) = &obs {
+            obs.count_round();
+        }
     }
 
     /// The tile-partitioned round loop (`shards > 1`).
@@ -1292,6 +1333,13 @@ impl<S: EventSink> Simulation<S> {
             round,
             ..RoundStats::default()
         };
+        // Wall-clock plane handles, cloned once so spans never contend
+        // with the phase destructuring borrows. Spans only start when a
+        // phase actually runs — skipped phases record nothing. The
+        // whole-round span wraps the breakdown, so `phase=round` is
+        // comparable between the sequential and sharded loops.
+        let obs = self.obs.clone();
+        let round_span = span_start(&obs);
         self.rotate_arenas();
         let ranges = shard_ranges(n, self.shards);
 
@@ -1304,6 +1352,7 @@ impl<S: EventSink> Simulation<S> {
             OverflowMode::Probabilistic
         ) && self.injector.model().p_overflow > 0.0;
         if tape_mode {
+            let tape_span = span_start(&obs);
             let Simulation {
                 ref mut receive_tape,
                 ref mut injector,
@@ -1329,6 +1378,7 @@ impl<S: EventSink> Simulation<S> {
                     len: frames.len() as u32,
                 });
             }
+            span_end(&obs, EnginePhase::Tape, tape_span);
         }
         let overflow_plan = if tape_mode {
             OverflowPlan::Tape(&self.receive_tape)
@@ -1360,6 +1410,11 @@ impl<S: EventSink> Simulation<S> {
         };
 
         // Phase 1: receive, one RNG-free worker per shard.
+        let fan_span = if self.inflight.scratch.frames == 0 {
+            None
+        } else {
+            span_start(&obs)
+        };
         let receive_outs: Vec<ReceiveOut> = if self.inflight.scratch.frames == 0 {
             Vec::new()
         } else {
@@ -1403,6 +1458,12 @@ impl<S: EventSink> Simulation<S> {
                 receive_shard(&ctx, lo, inbox, buf, ds)
             })
         };
+        span_end(&obs, EnginePhase::ShardFanout, fan_span);
+        let merge_span = if receive_outs.is_empty() {
+            None
+        } else {
+            span_start(&obs)
+        };
         for out in &receive_outs {
             self.report.crash_drops += out.crash_drops;
             self.report.overflow_drops += out.overflow_drops;
@@ -1434,6 +1495,7 @@ impl<S: EventSink> Simulation<S> {
                 self.buffer_frontier.insert(tile as usize);
             }
         }
+        span_end(&obs, EnginePhase::Merge, merge_span);
         self.inflight.scratch.clear();
         for &id in newly_terminated.keys() {
             if self.terminated.insert(id) {
@@ -1445,6 +1507,11 @@ impl<S: EventSink> Simulation<S> {
         self.run_compute(round);
 
         // Phase 3: age over the buffer frontier, one worker per shard.
+        let fan_span = if self.buffer_frontier.is_empty() {
+            None
+        } else {
+            span_start(&obs)
+        };
         let age_outs: Vec<AgeOut> = if self.buffer_frontier.is_empty() {
             Vec::new()
         } else {
@@ -1471,6 +1538,12 @@ impl<S: EventSink> Simulation<S> {
                 )
             })
         };
+        span_end(&obs, EnginePhase::ShardFanout, fan_span);
+        let merge_span = if age_outs.is_empty() {
+            None
+        } else {
+            span_start(&obs)
+        };
         for out in &age_outs {
             for &event in &out.events {
                 self.sink.emit(event);
@@ -1480,6 +1553,7 @@ impl<S: EventSink> Simulation<S> {
                 self.buffer_frontier.remove(tile as usize);
             }
         }
+        span_end(&obs, EnginePhase::Merge, merge_span);
         self.pending_purge.clear();
 
         // Phase 4: forward. Fully-deterministic configurations skip the
@@ -1488,6 +1562,7 @@ impl<S: EventSink> Simulation<S> {
         let forward_outs: Vec<ForwardOut> = if self.buffer_frontier.is_empty() {
             Vec::new()
         } else if self.uniform_forward {
+            let fan_span = span_start(&obs);
             let Simulation {
                 ref buffer_frontier,
                 ref buffers,
@@ -1515,11 +1590,16 @@ impl<S: EventSink> Simulation<S> {
                 forward_probability: config.forward_probability,
                 record_events,
             };
-            run_shards(ranges.clone(), |(lo, hi)| {
+            let outs = run_shards(ranges.clone(), |(lo, hi)| {
                 forward_shard_uniform(&ctx, lo, hi)
-            })
+            });
+            span_end(&obs, EnginePhase::ShardFanout, fan_span);
+            outs
         } else {
+            let tape_span = span_start(&obs);
             self.build_forward_tape(round, &mut stats);
+            span_end(&obs, EnginePhase::Tape, tape_span);
+            let fan_span = span_start(&obs);
             let Simulation {
                 ref forward_tape,
                 ref buffers,
@@ -1527,7 +1607,7 @@ impl<S: EventSink> Simulation<S> {
                 ref codec,
                 ..
             } = *self;
-            run_shards(ranges.clone(), |(lo, hi)| {
+            let outs = run_shards(ranges.clone(), |(lo, hi)| {
                 forward_shard_tape(
                     round,
                     lo,
@@ -1538,7 +1618,14 @@ impl<S: EventSink> Simulation<S> {
                     codec,
                     record_events,
                 )
-            })
+            });
+            span_end(&obs, EnginePhase::ShardFanout, fan_span);
+            outs
+        };
+        let merge_span = if forward_outs.is_empty() {
+            None
+        } else {
+            span_start(&obs)
         };
         for out in &forward_outs {
             for &event in &out.events {
@@ -1552,11 +1639,13 @@ impl<S: EventSink> Simulation<S> {
             self.report.crash_drops += out.crash_drops;
             self.report.partition_drops += out.partition_drops;
         }
+        span_end(&obs, EnginePhase::Merge, merge_span);
 
         // File egress into the arrival arenas, one worker per
         // destination shard, walking producers in shard order so each
         // inbox fills in exactly the sequential filing order.
         if forward_outs.iter().any(|out| !out.egress.is_empty()) {
+            let fan_span = span_start(&obs);
             let file_outs: Vec<FileOut> = {
                 let Simulation {
                     ref mut inbox_next,
@@ -1574,6 +1663,8 @@ impl<S: EventSink> Simulation<S> {
                     .collect();
                 run_shards(work, |(lo, next, later)| file_shard(lo, outs, next, later))
             };
+            span_end(&obs, EnginePhase::ShardFanout, fan_span);
+            let merge_span = span_start(&obs);
             for out in &file_outs {
                 self.inflight.next.frames += out.next_frames;
                 self.inflight.later.frames += out.later_frames;
@@ -1584,9 +1675,11 @@ impl<S: EventSink> Simulation<S> {
                     self.inflight.later.tiles.insert(tile as usize);
                 }
             }
+            span_end(&obs, EnginePhase::Merge, merge_span);
         }
 
         self.finish_round(&mut stats);
+        span_end(&obs, EnginePhase::Round, round_span);
         stats
     }
 

@@ -339,7 +339,109 @@ pub struct EventCounts {
     pub adversarial_reorders: u64,
 }
 
+/// Number of event-count kinds tracked per location — one per
+/// [`EventCounts`] field, in declaration order.
+const KINDS: usize = 15;
+
+/// Column indices into a [`Table`] row, mirroring the [`EventCounts`]
+/// field order (`from_slots` below is the single source of truth for
+/// the mapping).
+mod kind {
+    pub(super) const FRAMES_SENT: usize = 0;
+    pub(super) const FORWARDS: usize = 1;
+    pub(super) const CRC_REJECTS: usize = 2;
+    pub(super) const UNDETECTED_UPSETS: usize = 3;
+    pub(super) const OVERFLOW_DROPS: usize = 4;
+    pub(super) const CRASH_DROPS: usize = 5;
+    pub(super) const DUPLICATE_DROPS: usize = 6;
+    pub(super) const TTL_EXPIRATIONS: usize = 7;
+    pub(super) const CLOCK_SLIPS: usize = 8;
+    pub(super) const DELIVERIES: usize = 9;
+    pub(super) const PARTITION_DROPS: usize = 10;
+    pub(super) const BYZANTINE_FORGES: usize = 11;
+    pub(super) const BYZANTINE_REPLAYS: usize = 12;
+    pub(super) const ADVERSARIAL_DELAYS: usize = 13;
+    pub(super) const ADVERSARIAL_REORDERS: usize = 14;
+}
+
+/// Dense per-location counter storage: one flat `u64` array indexed
+/// `location * KINDS + kind`. The hot path ([`CounterSink`]'s `emit`)
+/// is a multiply-add and one slot increment — no per-location struct
+/// stride, and with [`CounterSink::with_capacity`] no growth check ever
+/// fires on a resize path.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+struct Table {
+    slots: Vec<u64>,
+}
+
+impl Table {
+    fn with_locations(locations: usize) -> Self {
+        Table {
+            slots: vec![0; locations * KINDS],
+        }
+    }
+
+    fn locations(&self) -> usize {
+        self.slots.len() / KINDS
+    }
+
+    #[inline]
+    fn bump(&mut self, location: usize, kind: usize) {
+        let index = location * KINDS + kind;
+        if index >= self.slots.len() {
+            self.grow(location + 1);
+        }
+        self.slots[index] += 1;
+    }
+
+    #[cold]
+    fn grow(&mut self, locations: usize) {
+        self.slots.resize(locations * KINDS, 0);
+    }
+
+    fn get(&self, location: usize, kind: usize) -> u64 {
+        self.slots
+            .get(location * KINDS + kind)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn counts(&self, location: usize) -> EventCounts {
+        EventCounts::from_slots(&self.slots[location * KINDS..(location + 1) * KINDS])
+    }
+
+    fn merge(&mut self, other: &Table) {
+        if self.slots.len() < other.slots.len() {
+            self.slots.resize(other.slots.len(), 0);
+        }
+        for (mine, theirs) in self.slots.iter_mut().zip(&other.slots) {
+            *mine += *theirs;
+        }
+    }
+}
+
 impl EventCounts {
+    /// Rehydrates one [`Table`] row (see [`kind`] for the column map).
+    fn from_slots(slots: &[u64]) -> EventCounts {
+        EventCounts {
+            frames_sent: slots[kind::FRAMES_SENT],
+            forwards: slots[kind::FORWARDS],
+            crc_rejects: slots[kind::CRC_REJECTS],
+            undetected_upsets: slots[kind::UNDETECTED_UPSETS],
+            overflow_drops: slots[kind::OVERFLOW_DROPS],
+            crash_drops: slots[kind::CRASH_DROPS],
+            duplicate_drops: slots[kind::DUPLICATE_DROPS],
+            ttl_expirations: slots[kind::TTL_EXPIRATIONS],
+            clock_slips: slots[kind::CLOCK_SLIPS],
+            deliveries: slots[kind::DELIVERIES],
+            partition_drops: slots[kind::PARTITION_DROPS],
+            byzantine_forges: slots[kind::BYZANTINE_FORGES],
+            byzantine_replays: slots[kind::BYZANTINE_REPLAYS],
+            adversarial_delays: slots[kind::ADVERSARIAL_DELAYS],
+            adversarial_reorders: slots[kind::ADVERSARIAL_REORDERS],
+        }
+    }
+
     /// Adds `other` into `self`, field by field.
     pub fn merge(&mut self, other: &EventCounts) {
         self.frames_sent += other.frames_sent;
@@ -388,8 +490,8 @@ impl EventCounts {
 /// ```
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct CounterSink {
-    tiles: Vec<EventCounts>,
-    links: Vec<EventCounts>,
+    tiles: Table,
+    links: Table,
     totals: EventCounts,
     /// Rounds that ended with zero live messages without completing the
     /// run. A whole-round observation, not a per-location event, so it
@@ -403,20 +505,18 @@ impl CounterSink {
         Self::default()
     }
 
-    fn tile(&mut self, node: NodeId) -> &mut EventCounts {
-        let index = node.index();
-        if index >= self.tiles.len() {
-            self.tiles.resize(index + 1, EventCounts::default());
+    /// A counter sink with the per-location tables preallocated for
+    /// `tiles` tiles and `links` links, so no `emit` on the hot path
+    /// ever takes the growth branch. Sinks only compare equal when
+    /// their table extents match, so fold same-constructor sinks
+    /// together (as the sweep harnesses do).
+    pub fn with_capacity(tiles: usize, links: usize) -> Self {
+        CounterSink {
+            tiles: Table::with_locations(tiles),
+            links: Table::with_locations(links),
+            totals: EventCounts::default(),
+            quiescent_rounds: 0,
         }
-        &mut self.tiles[index]
-    }
-
-    fn link(&mut self, link: LinkId) -> &mut EventCounts {
-        let index = link.index();
-        if index >= self.links.len() {
-            self.links.resize(index + 1, EventCounts::default());
-        }
-        &mut self.links[index]
     }
 
     /// Global tallies (every event counted exactly once).
@@ -424,15 +524,22 @@ impl CounterSink {
         &self.totals
     }
 
-    /// Per-tile tallies, indexed by tile; tiles past the last event are
-    /// absent.
-    pub fn tiles(&self) -> &[EventCounts] {
-        &self.tiles
+    /// Per-tile tallies, indexed by tile; tiles past the table extent
+    /// (the preallocated capacity, or the highest tile that counted an
+    /// event) are absent. Rehydrated from the dense storage on call —
+    /// an inspection API, not a hot-path one.
+    pub fn tiles(&self) -> Vec<EventCounts> {
+        (0..self.tiles.locations())
+            .map(|i| self.tiles.counts(i))
+            .collect()
     }
 
-    /// Per-link tallies, indexed by link id.
-    pub fn links(&self) -> &[EventCounts] {
-        &self.links
+    /// Per-link tallies, indexed by link id; same conventions as
+    /// [`CounterSink::tiles`].
+    pub fn links(&self) -> Vec<EventCounts> {
+        (0..self.links.locations())
+            .map(|i| self.links.counts(i))
+            .collect()
     }
 
     /// Rounds observed to end quiescent (no live messages, run not yet
@@ -449,19 +556,19 @@ impl CounterSink {
     /// [`reconcile`]: CounterSink::reconcile
     pub fn summed_from_locations(&self) -> EventCounts {
         let mut sum = EventCounts::default();
-        for t in &self.tiles {
-            sum.merge(t);
+        for tile in 0..self.tiles.locations() {
+            sum.merge(&self.tiles.counts(tile));
         }
         // Tile-axis frames_sent already covers every transmission; the
         // link table is a second view of the same events, so only the
         // counters attributed exclusively to links (absent from the tile
         // axis) fold in: crash drops on dead links, partition drops, and
         // adversarial delay/reorder jitter.
-        for l in &self.links {
-            sum.crash_drops += l.crash_drops;
-            sum.partition_drops += l.partition_drops;
-            sum.adversarial_delays += l.adversarial_delays;
-            sum.adversarial_reorders += l.adversarial_reorders;
+        for link in 0..self.links.locations() {
+            sum.crash_drops += self.links.get(link, kind::CRASH_DROPS);
+            sum.partition_drops += self.links.get(link, kind::PARTITION_DROPS);
+            sum.adversarial_delays += self.links.get(link, kind::ADVERSARIAL_DELAYS);
+            sum.adversarial_reorders += self.links.get(link, kind::ADVERSARIAL_REORDERS);
         }
         sum
     }
@@ -470,18 +577,8 @@ impl CounterSink {
     /// per-trial merge used by Monte-Carlo sweeps (fold trials in
     /// index order and the result is independent of the worker count).
     pub fn merge(&mut self, other: &CounterSink) {
-        if self.tiles.len() < other.tiles.len() {
-            self.tiles.resize(other.tiles.len(), EventCounts::default());
-        }
-        if self.links.len() < other.links.len() {
-            self.links.resize(other.links.len(), EventCounts::default());
-        }
-        for (mine, theirs) in self.tiles.iter_mut().zip(&other.tiles) {
-            mine.merge(theirs);
-        }
-        for (mine, theirs) in self.links.iter_mut().zip(&other.links) {
-            mine.merge(theirs);
-        }
+        self.tiles.merge(&other.tiles);
+        self.links.merge(&other.links);
         self.totals.merge(&other.totals);
         self.quiescent_rounds += other.quiescent_rounds;
     }
@@ -572,79 +669,127 @@ impl CounterSink {
 }
 
 impl EventSink for CounterSink {
+    #[inline]
     fn emit(&mut self, event: SimEvent) {
         match event {
             SimEvent::FrameSent { from, link, .. } => {
-                self.tile(from).frames_sent += 1;
-                self.link(link).frames_sent += 1;
+                self.tiles.bump(from.index(), kind::FRAMES_SENT);
+                self.links.bump(link.index(), kind::FRAMES_SENT);
                 self.totals.frames_sent += 1;
             }
             SimEvent::Forwarded { tile, .. } => {
-                self.tile(tile).forwards += 1;
+                self.tiles.bump(tile.index(), kind::FORWARDS);
                 self.totals.forwards += 1;
             }
             SimEvent::CrcReject { tile, link, .. } => {
-                self.tile(tile).crc_rejects += 1;
+                self.tiles.bump(tile.index(), kind::CRC_REJECTS);
                 if let Some(link) = link {
-                    self.link(link).crc_rejects += 1;
+                    self.links.bump(link.index(), kind::CRC_REJECTS);
                 }
                 self.totals.crc_rejects += 1;
             }
             SimEvent::UndetectedUpset { tile, .. } => {
-                self.tile(tile).undetected_upsets += 1;
+                self.tiles.bump(tile.index(), kind::UNDETECTED_UPSETS);
                 self.totals.undetected_upsets += 1;
             }
             SimEvent::OverflowDrop { tile, .. } => {
-                self.tile(tile).overflow_drops += 1;
+                self.tiles.bump(tile.index(), kind::OVERFLOW_DROPS);
                 self.totals.overflow_drops += 1;
             }
             SimEvent::CrashDrop { site, .. } => {
                 match site {
-                    DropSite::Tile(tile) => self.tile(tile).crash_drops += 1,
-                    DropSite::Link(link) => self.link(link).crash_drops += 1,
+                    DropSite::Tile(tile) => self.tiles.bump(tile.index(), kind::CRASH_DROPS),
+                    DropSite::Link(link) => self.links.bump(link.index(), kind::CRASH_DROPS),
                 }
                 self.totals.crash_drops += 1;
             }
             SimEvent::DuplicateDrop { tile, .. } => {
-                self.tile(tile).duplicate_drops += 1;
+                self.tiles.bump(tile.index(), kind::DUPLICATE_DROPS);
                 self.totals.duplicate_drops += 1;
             }
             SimEvent::TtlExpiry { tile, .. } => {
-                self.tile(tile).ttl_expirations += 1;
+                self.tiles.bump(tile.index(), kind::TTL_EXPIRATIONS);
                 self.totals.ttl_expirations += 1;
             }
             SimEvent::ClockSlip { tile, .. } => {
-                self.tile(tile).clock_slips += 1;
+                self.tiles.bump(tile.index(), kind::CLOCK_SLIPS);
                 self.totals.clock_slips += 1;
             }
             SimEvent::Delivery { tile, .. } => {
-                self.tile(tile).deliveries += 1;
+                self.tiles.bump(tile.index(), kind::DELIVERIES);
                 self.totals.deliveries += 1;
             }
             SimEvent::PartitionDrop { link, .. } => {
-                self.link(link).partition_drops += 1;
+                self.links.bump(link.index(), kind::PARTITION_DROPS);
                 self.totals.partition_drops += 1;
             }
             SimEvent::ByzantineForge { tile, .. } => {
-                self.tile(tile).byzantine_forges += 1;
+                self.tiles.bump(tile.index(), kind::BYZANTINE_FORGES);
                 self.totals.byzantine_forges += 1;
             }
             SimEvent::ByzantineReplay { tile, .. } => {
-                self.tile(tile).byzantine_replays += 1;
+                self.tiles.bump(tile.index(), kind::BYZANTINE_REPLAYS);
                 self.totals.byzantine_replays += 1;
             }
             SimEvent::AdversarialDelay { link, .. } => {
-                self.link(link).adversarial_delays += 1;
+                self.links.bump(link.index(), kind::ADVERSARIAL_DELAYS);
                 self.totals.adversarial_delays += 1;
             }
             SimEvent::AdversarialReorder { link, .. } => {
-                self.link(link).adversarial_reorders += 1;
+                self.links.bump(link.index(), kind::ADVERSARIAL_REORDERS);
                 self.totals.adversarial_reorders += 1;
             }
             SimEvent::RoundQuiescent { .. } => {
                 self.quiescent_rounds += 1;
             }
         }
+    }
+}
+
+/// Duplicates every event to two sinks, so independent consumers — a
+/// JSONL trace and a [`CounterSink`], say — observe the *same* stream
+/// from a *single* run instead of re-running the trial per consumer.
+/// This is the composition behind `--trace-events` + `--metrics-out`
+/// in the experiments CLI.
+///
+/// Events are `Copy`, so the fan-out costs two moves; `RECORDS` is the
+/// OR of the parts, so a tee of two non-recording sinks still
+/// monomorphizes the emission points away.
+#[derive(Debug, Default, Clone)]
+pub struct TeeSink<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A: EventSink, B: EventSink> TeeSink<A, B> {
+    /// Tees `first` and `second` into one sink.
+    pub fn new(first: A, second: B) -> Self {
+        TeeSink { first, second }
+    }
+
+    /// The first sink, borrowed.
+    pub fn first(&self) -> &A {
+        &self.first
+    }
+
+    /// The second sink, borrowed.
+    pub fn second(&self) -> &B {
+        &self.second
+    }
+
+    /// Splits the tee back into its parts.
+    pub fn into_parts(self) -> (A, B) {
+        (self.first, self.second)
+    }
+}
+
+impl<A: EventSink, B: EventSink> EventSink for TeeSink<A, B> {
+    const RECORDS: bool = A::RECORDS || B::RECORDS;
+
+    #[inline]
+    fn emit(&mut self, event: SimEvent) {
+        self.first.emit(event);
+        self.second.emit(event);
     }
 }
 

@@ -53,6 +53,7 @@ mod engine;
 pub mod events;
 mod frontier;
 mod metrics;
+pub mod obs;
 pub mod reference;
 pub mod seed;
 mod send_buffer;
@@ -63,7 +64,8 @@ pub mod tuning;
 
 pub use config::{InvalidConfig, StochasticConfig};
 pub use engine::{RoundStats, Simulation, SimulationBuilder};
-pub use events::{CounterSink, DropSite, EventSink, JsonlSink, NullSink, SimEvent};
+pub use events::{CounterSink, DropSite, EventSink, JsonlSink, NullSink, SimEvent, TeeSink};
 pub use metrics::{MessageRecord, SimulationReport};
+pub use obs::{EngineObs, EnginePhase};
 pub use send_buffer::{InsertOutcome, SendBuffer};
 pub use trace::{RoundSnapshot, SpreadTrace};

@@ -30,6 +30,14 @@
 //! the forward tape entirely: [`forward_shard_uniform`] recomputes the
 //! deterministic outcomes locally, which is the mega-grid flooding fast
 //! path the `perf_baseline` gate measures.
+//!
+//! The same division of labour extends to the wall-clock plane
+//! (DESIGN.md §13): **workers never read the clock**. Timing spans for
+//! the tape pre-pass, the shard fan-out, and the merges are recorded
+//! only on the main thread, bracketing the `run_shards` calls from
+//! outside — so installing [`crate::EngineObs`] changes nothing about
+//! what a worker computes, and the deterministic plane stays
+//! byte-identical with observability enabled.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;

@@ -85,87 +85,150 @@ fn inject_pair<S: EventSink>(sim: &mut Simulation<S>) {
     sim.inject(NodeId(30), NodeId(5), b"cross".to_vec());
 }
 
-#[test]
-fn golden_partition_with_heal() {
-    // Cut the four links around the grid centre for rounds 3..9.
-    let adversary = AdversarialScenario::builder()
-        .cut_links([24, 25, 26, 27], 3, Some(9))
-        .build()
-        .unwrap();
+/// Every hostile scenario in this file with its pinned digest, freshly
+/// built — drives the per-scenario tests and the obs-plane invariance
+/// suite below from one definition.
+fn adversarial_workloads() -> Vec<(&'static str, AdversarialScenario, &'static str)> {
+    vec![
+        (
+            "partition_with_heal",
+            // Cut the four links around the grid centre for rounds 3..9.
+            AdversarialScenario::builder()
+                .cut_links([24, 25, 26, 27], 3, Some(9))
+                .build()
+                .unwrap(),
+            GOLDEN_PARTITION_HEAL,
+        ),
+        (
+            "permanent_death",
+            AdversarialScenario::builder()
+                .kill_tile(14, 2)
+                .kill_tile(21, 6)
+                .kill_link(40, 0)
+                .build()
+                .unwrap(),
+            GOLDEN_PERMANENT_DEATH,
+        ),
+        (
+            "chaos_jitter",
+            AdversarialScenario::builder()
+                .delay_probability(0.15)
+                .reorder_probability(0.2)
+                .build()
+                .unwrap(),
+            GOLDEN_CHAOS_JITTER,
+        ),
+        (
+            "byzantine_forge",
+            AdversarialScenario::builder()
+                .byzantine_tile(7)
+                .byzantine_tile(28)
+                .byzantine_mode(ByzantineMode::Forge)
+                .byzantine_activation(0.5)
+                .build()
+                .unwrap(),
+            GOLDEN_BYZANTINE_FORGE,
+        ),
+        (
+            "byzantine_replay",
+            AdversarialScenario::builder()
+                .byzantine_tile(7)
+                .byzantine_tile(28)
+                .byzantine_mode(ByzantineMode::Replay)
+                .byzantine_activation(0.5)
+                .byzantine_until(Some(20))
+                .build()
+                .unwrap(),
+            GOLDEN_BYZANTINE_REPLAY,
+        ),
+        (
+            "combined_hostile",
+            AdversarialScenario::builder()
+                .cut_links([10, 11], 2, Some(7))
+                .kill_tile(20, 4)
+                .delay_probability(0.1)
+                .reorder_probability(0.1)
+                .byzantine_tile(13)
+                .byzantine_mode(ByzantineMode::Forge)
+                .byzantine_activation(0.4)
+                .build()
+                .unwrap(),
+            GOLDEN_COMBINED_HOSTILE,
+        ),
+    ]
+}
+
+/// Builds and checks the named scenario through the default path.
+fn check_scenario(name: &'static str) {
+    let (_, adversary, golden) = adversarial_workloads()
+        .into_iter()
+        .find(|(n, _, _)| *n == name)
+        .expect("known scenario");
     let mut sim = grid6_base().adversary(adversary).build();
     inject_pair(&mut sim);
-    check("partition_with_heal", &mut sim, GOLDEN_PARTITION_HEAL);
+    check(name, &mut sim, golden);
+}
+
+#[test]
+fn golden_partition_with_heal() {
+    check_scenario("partition_with_heal");
 }
 
 #[test]
 fn golden_permanent_death() {
-    let adversary = AdversarialScenario::builder()
-        .kill_tile(14, 2)
-        .kill_tile(21, 6)
-        .kill_link(40, 0)
-        .build()
-        .unwrap();
-    let mut sim = grid6_base().adversary(adversary).build();
-    inject_pair(&mut sim);
-    check("permanent_death", &mut sim, GOLDEN_PERMANENT_DEATH);
+    check_scenario("permanent_death");
 }
 
 #[test]
 fn golden_chaos_jitter() {
-    let adversary = AdversarialScenario::builder()
-        .delay_probability(0.15)
-        .reorder_probability(0.2)
-        .build()
-        .unwrap();
-    let mut sim = grid6_base().adversary(adversary).build();
-    inject_pair(&mut sim);
-    check("chaos_jitter", &mut sim, GOLDEN_CHAOS_JITTER);
+    check_scenario("chaos_jitter");
 }
 
 #[test]
 fn golden_byzantine_forge() {
-    let adversary = AdversarialScenario::builder()
-        .byzantine_tile(7)
-        .byzantine_tile(28)
-        .byzantine_mode(ByzantineMode::Forge)
-        .byzantine_activation(0.5)
-        .build()
-        .unwrap();
-    let mut sim = grid6_base().adversary(adversary).build();
-    inject_pair(&mut sim);
-    check("byzantine_forge", &mut sim, GOLDEN_BYZANTINE_FORGE);
+    check_scenario("byzantine_forge");
 }
 
 #[test]
 fn golden_byzantine_replay() {
-    let adversary = AdversarialScenario::builder()
-        .byzantine_tile(7)
-        .byzantine_tile(28)
-        .byzantine_mode(ByzantineMode::Replay)
-        .byzantine_activation(0.5)
-        .byzantine_until(Some(20))
-        .build()
-        .unwrap();
-    let mut sim = grid6_base().adversary(adversary).build();
-    inject_pair(&mut sim);
-    check("byzantine_replay", &mut sim, GOLDEN_BYZANTINE_REPLAY);
+    check_scenario("byzantine_replay");
 }
 
 #[test]
 fn golden_combined_hostile() {
-    let adversary = AdversarialScenario::builder()
-        .cut_links([10, 11], 2, Some(7))
-        .kill_tile(20, 4)
-        .delay_probability(0.1)
-        .reorder_probability(0.1)
-        .byzantine_tile(13)
-        .byzantine_mode(ByzantineMode::Forge)
-        .byzantine_activation(0.4)
-        .build()
-        .unwrap();
-    let mut sim = grid6_base().adversary(adversary).build();
-    inject_pair(&mut sim);
-    check("combined_hostile", &mut sim, GOLDEN_COMBINED_HOSTILE);
+    check_scenario("combined_hostile");
+}
+
+/// The two-plane contract over the hostile grammar: every adversarial
+/// digest stays byte-identical with the wall-clock plane installed and
+/// a CounterSink attached — sequentially and through the sharded loop.
+#[test]
+fn adversarial_digests_are_identical_with_obs_plane_enabled() {
+    for shards in [1usize, 4] {
+        let metrics = noc_obs::Metrics::new();
+        let obs = stochastic_noc::EngineObs::new(&metrics);
+        for (name, adversary, golden) in adversarial_workloads() {
+            let mut sim = grid6_base()
+                .adversary(adversary)
+                .shards(shards)
+                .obs(obs.clone())
+                .build_with_sink(CounterSink::new());
+            inject_pair(&mut sim);
+            let report = sim.run();
+            assert_eq!(
+                digest(&report).trim(),
+                golden.trim(),
+                "digest for `{name}` drifted with obs plane enabled (shards={shards})"
+            );
+            sim.into_sink()
+                .reconcile(&report)
+                .expect("obs-enabled hostile workload reconciles");
+        }
+        assert!(
+            metrics.counter_value("engine_rounds_total").unwrap_or(0) > 0,
+            "rounds were counted (shards={shards})"
+        );
+    }
 }
 
 /// Hostile runs must still reconcile event attributions with report

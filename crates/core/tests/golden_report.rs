@@ -55,14 +55,111 @@ fn check(name: &str, sim: &mut Simulation, expected: &str) {
     );
 }
 
+/// One golden workload: how to build it, what to inject, and the
+/// pinned digest. The table drives the per-workload tests and the
+/// obs-plane invariance suites below from a single definition.
+struct GoldenWorkload {
+    name: &'static str,
+    builder: SimulationBuilder,
+    injections: Vec<(usize, usize, &'static [u8])>,
+    golden: &'static str,
+}
+
+/// Every golden workload in this file, freshly built.
+fn golden_workloads() -> Vec<GoldenWorkload> {
+    let grid16_model = FaultModel::builder()
+        .p_upset(0.1)
+        .p_tiles(0.05)
+        .p_links(0.05)
+        .error_model(ErrorModel::RandomBitError)
+        .build()
+        .unwrap();
+    let torus_model = FaultModel::builder()
+        .sigma_synch(0.2)
+        .overflow_mode(OverflowMode::Structural { capacity: 4 })
+        .build()
+        .unwrap();
+    let mut crash = CrashSchedule::new();
+    crash.kill_tile(7, 0).kill_tile(14, 5).kill_link(3, 8);
+    let crash_model = FaultModel::builder().p_upset(0.05).build().unwrap();
+    vec![
+        GoldenWorkload {
+            name: "grid4_flooding_fault_free",
+            builder: SimulationBuilder::new(Topology::grid(4, 4))
+                .config(StochasticConfig::flooding(12).with_max_rounds(40))
+                .seed(1),
+            injections: vec![(5, 11, b"figure 3-3")],
+            golden: GOLDEN_GRID4_FLOODING,
+        },
+        GoldenWorkload {
+            name: "grid8_gossip_under_faults",
+            builder: grid8_gossip_builder(),
+            injections: vec![(0, 63, b"corner to corner"), (9, 54, b"x")],
+            golden: GOLDEN_GRID8_GOSSIP,
+        },
+        GoldenWorkload {
+            name: "grid16_flooding_with_defects",
+            builder: SimulationBuilder::new(Topology::grid(16, 16))
+                .config(StochasticConfig::flooding(24).with_max_rounds(60))
+                .fault_model(grid16_model)
+                .seed(7),
+            injections: vec![(0, 255, b"big grid")],
+            golden: GOLDEN_GRID16_FLOOD,
+        },
+        GoldenWorkload {
+            name: "torus_structural_overflow",
+            builder: SimulationBuilder::new(Topology::torus(6, 6))
+                .forward_probability(0.35)
+                .ttl(18)
+                .max_rounds(80)
+                .fault_model(torus_model)
+                .seed(9),
+            injections: vec![(0, 21, b"a"), (17, 4, b"bb"), (30, 8, b"ccc")],
+            golden: GOLDEN_TORUS_STRUCTURAL,
+        },
+        GoldenWorkload {
+            name: "fully_connected_with_termination",
+            builder: SimulationBuilder::new(Topology::fully_connected(16))
+                .config(
+                    StochasticConfig::flooding(6)
+                        .with_max_rounds(30)
+                        .with_termination(true),
+                )
+                .seed(11),
+            injections: vec![(2, 13, b"bus-like")],
+            golden: GOLDEN_FULL16_TERMINATION,
+        },
+        GoldenWorkload {
+            name: "grid6_with_crash_schedule",
+            builder: SimulationBuilder::new(Topology::grid(6, 6))
+                .forward_probability(0.6)
+                .ttl(15)
+                .max_rounds(60)
+                .fault_model(crash_model)
+                .crash_schedule(crash)
+                .seed(5),
+            injections: vec![(1, 34, b"survivor"), (35, 0, b"reverse")],
+            golden: GOLDEN_GRID6_CRASH,
+        },
+    ]
+}
+
+/// Builds and checks the named table workload through the default path.
+fn check_workload(name: &'static str) {
+    let workload = golden_workloads()
+        .into_iter()
+        .find(|w| w.name == name)
+        .expect("known workload");
+    let mut sim = workload.builder.build();
+    for (src, dst, payload) in &workload.injections {
+        sim.inject(NodeId(*src), NodeId(*dst), payload.to_vec());
+    }
+    check(name, &mut sim, workload.golden);
+}
+
 #[test]
 fn golden_grid4_flooding_fault_free() {
-    let mut sim = SimulationBuilder::new(Topology::grid(4, 4))
-        .config(StochasticConfig::flooding(12).with_max_rounds(40))
-        .seed(1)
-        .build();
-    sim.inject(NodeId(5), NodeId(11), b"figure 3-3".to_vec());
-    check("grid4_flooding_fault_free", &mut sim, GOLDEN_GRID4_FLOODING);
+    check_workload("grid4_flooding_fault_free");
 }
 
 /// The richest golden workload (upsets, overflow, slips, expirations),
@@ -85,10 +182,7 @@ fn grid8_gossip_builder() -> SimulationBuilder {
 
 #[test]
 fn golden_grid8_gossip_under_faults() {
-    let mut sim = grid8_gossip_builder().build();
-    sim.inject(NodeId(0), NodeId(63), b"corner to corner".to_vec());
-    sim.inject(NodeId(9), NodeId(54), b"x".to_vec());
-    check("grid8_gossip_under_faults", &mut sim, GOLDEN_GRID8_GOSSIP);
+    check_workload("grid8_gossip_under_faults");
 }
 
 /// Sinks observe, they never influence: installing any sink must leave
@@ -128,84 +222,91 @@ fn golden_digest_is_identical_with_counter_sink_installed() {
 
 #[test]
 fn golden_grid16_flooding_with_defects() {
-    let model = FaultModel::builder()
-        .p_upset(0.1)
-        .p_tiles(0.05)
-        .p_links(0.05)
-        .error_model(ErrorModel::RandomBitError)
-        .build()
-        .unwrap();
-    let mut sim = SimulationBuilder::new(Topology::grid(16, 16))
-        .config(StochasticConfig::flooding(24).with_max_rounds(60))
-        .fault_model(model)
-        .seed(7)
-        .build();
-    sim.inject(NodeId(0), NodeId(255), b"big grid".to_vec());
-    check(
-        "grid16_flooding_with_defects",
-        &mut sim,
-        GOLDEN_GRID16_FLOOD,
-    );
+    check_workload("grid16_flooding_with_defects");
 }
 
 #[test]
 fn golden_torus_structural_overflow() {
-    let model = FaultModel::builder()
-        .sigma_synch(0.2)
-        .overflow_mode(OverflowMode::Structural { capacity: 4 })
-        .build()
-        .unwrap();
-    let mut sim = SimulationBuilder::new(Topology::torus(6, 6))
-        .forward_probability(0.35)
-        .ttl(18)
-        .max_rounds(80)
-        .fault_model(model)
-        .seed(9)
-        .build();
-    sim.inject(NodeId(0), NodeId(21), b"a".to_vec());
-    sim.inject(NodeId(17), NodeId(4), b"bb".to_vec());
-    sim.inject(NodeId(30), NodeId(8), b"ccc".to_vec());
-    check(
-        "torus_structural_overflow",
-        &mut sim,
-        GOLDEN_TORUS_STRUCTURAL,
-    );
+    check_workload("torus_structural_overflow");
 }
 
 #[test]
 fn golden_fully_connected_with_termination() {
-    let mut sim = SimulationBuilder::new(Topology::fully_connected(16))
-        .config(
-            StochasticConfig::flooding(6)
-                .with_max_rounds(30)
-                .with_termination(true),
-        )
-        .seed(11)
-        .build();
-    sim.inject(NodeId(2), NodeId(13), b"bus-like".to_vec());
-    check(
-        "fully_connected_with_termination",
-        &mut sim,
-        GOLDEN_FULL16_TERMINATION,
-    );
+    check_workload("fully_connected_with_termination");
 }
 
 #[test]
 fn golden_grid6_with_crash_schedule() {
-    let mut schedule = CrashSchedule::new();
-    schedule.kill_tile(7, 0).kill_tile(14, 5).kill_link(3, 8);
-    let model = FaultModel::builder().p_upset(0.05).build().unwrap();
-    let mut sim = SimulationBuilder::new(Topology::grid(6, 6))
-        .forward_probability(0.6)
-        .ttl(15)
-        .max_rounds(60)
-        .fault_model(model)
-        .crash_schedule(schedule)
-        .seed(5)
-        .build();
-    sim.inject(NodeId(1), NodeId(34), b"survivor".to_vec());
-    sim.inject(NodeId(35), NodeId(0), b"reverse".to_vec());
-    check("grid6_with_crash_schedule", &mut sim, GOLDEN_GRID6_CRASH);
+    check_workload("grid6_with_crash_schedule");
+}
+
+/// Runs every table workload with the wall-clock plane installed (and a
+/// CounterSink), at the given shard count, asserting each digest stays
+/// byte-identical. Returns the registry for span assertions.
+fn run_suite_with_obs(shards: usize) -> noc_obs::Metrics {
+    let metrics = noc_obs::Metrics::new();
+    let obs = stochastic_noc::EngineObs::new(&metrics);
+    for workload in golden_workloads() {
+        let mut sim = workload
+            .builder
+            .shards(shards)
+            .obs(obs.clone())
+            .build_with_sink(CounterSink::new());
+        for (src, dst, payload) in &workload.injections {
+            sim.inject(NodeId(*src), NodeId(*dst), payload.to_vec());
+        }
+        let report = sim.run();
+        assert_eq!(
+            digest(&report).trim(),
+            workload.golden.trim(),
+            "digest for `{}` drifted with obs plane enabled (shards={shards})",
+            workload.name
+        );
+        sim.into_sink()
+            .reconcile(&report)
+            .expect("obs-enabled workload reconciles");
+    }
+    metrics
+}
+
+/// The two-plane contract, deterministic side: installing the wall-clock
+/// plane must leave every golden digest byte-identical.
+#[test]
+fn golden_digests_are_identical_with_obs_plane_enabled() {
+    let metrics = run_suite_with_obs(1);
+    let snap = metrics.snapshot();
+    let round = snap
+        .histograms
+        .iter()
+        .find(|h| {
+            h.name == "engine_phase_seconds"
+                && h.labels == vec![("phase".to_string(), "round".to_string())]
+        })
+        .expect("sequential engines record round spans");
+    assert!(round.count > 0, "the obs plane actually recorded spans");
+    assert!(
+        metrics.counter_value("engine_rounds_total").unwrap_or(0) > 0,
+        "rounds were counted"
+    );
+}
+
+/// Same contract through the sharded round loop: spans for every
+/// sharded phase, digests still pinned.
+#[test]
+fn golden_digests_are_identical_with_obs_plane_enabled_and_sharded() {
+    let metrics = run_suite_with_obs(4);
+    let snap = metrics.snapshot();
+    for phase in ["tape", "shard_fanout", "merge", "quiescence"] {
+        let hist = snap
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "engine_phase_seconds"
+                    && h.labels == vec![("phase".to_string(), phase.to_string())]
+            })
+            .unwrap_or_else(|| panic!("{phase} histogram registered"));
+        assert!(hist.count > 0, "{phase} phase recorded spans");
+    }
 }
 
 const GOLDEN_GRID4_FLOODING: &str = "\

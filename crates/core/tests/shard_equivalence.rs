@@ -235,6 +235,70 @@ fn history_stats_match_full_grid_recount_under_faults() {
     }
 }
 
+/// The wall-clock observability plane must be invisible to the
+/// deterministic plane: running the faulty regression scenario with a
+/// [`noc_obs::Metrics`] registry and [`stochastic_noc::EngineObs`]
+/// installed must reproduce the uninstrumented JSONL event stream and
+/// report byte-for-byte, at shards=1 and through the sharded loop —
+/// while the registry itself proves the spans actually recorded.
+#[test]
+fn event_streams_are_byte_identical_with_obs_plane_enabled() {
+    let (topology, config, model, schedule) = faulty_scenario();
+    let adversary = AdversarialScenario::builder()
+        .delay_probability(0.1)
+        .reorder_probability(0.1)
+        .build()
+        .expect("valid scenario");
+    let injections: Vec<(usize, usize, Vec<u8>)> = vec![
+        (0, 35, vec![0xAB; 12]),
+        (17, 3, vec![0xCD; 5]),
+        (35, 0, vec![0xEF; 3]),
+    ];
+    let seed = 20260806;
+
+    let run = |shards: usize, obs: Option<stochastic_noc::EngineObs>| {
+        let n = topology.node_count();
+        let mut builder = SimulationBuilder::new(topology.clone())
+            .config(config)
+            .fault_model(model)
+            .crash_schedule(schedule.clone())
+            .adversary(adversary.clone())
+            .seed(seed)
+            .shards(shards);
+        if let Some(obs) = obs {
+            builder = builder.obs(obs);
+        }
+        let mut sim = builder.build_with_sink(JsonlSink::new(Vec::new()));
+        for (src, dst, payload) in &injections {
+            sim.inject(NodeId(src % n), NodeId(dst % n), payload.clone());
+        }
+        let report = sim.run();
+        let events = String::from_utf8(sim.into_sink().into_inner()).expect("JSONL is UTF-8");
+        (observe(&report), events)
+    };
+
+    let (plain_report, plain_events) = run(1, None);
+    for shards in [1usize, 2, 4] {
+        let metrics = noc_obs::Metrics::new();
+        let obs = stochastic_noc::EngineObs::new(&metrics);
+        let (report, events) = run(shards, Some(obs));
+        assert_eq!(
+            report, plain_report,
+            "report diverged with obs plane enabled at shards={shards}"
+        );
+        if let Some((line, want, got)) = first_divergence(&plain_events, &events) {
+            panic!(
+                "obs-enabled event stream diverged at shards={shards} line {line}:\n  \
+                 plain: {want}\n  obs:   {got}"
+            );
+        }
+        assert!(
+            metrics.counter_value("engine_rounds_total").unwrap_or(0) > 0,
+            "obs plane recorded no rounds at shards={shards}"
+        );
+    }
+}
+
 /// With every transmission chaos-delayed, the buffers drain before the
 /// frames land: those rounds are quiescent-but-not-complete, and the
 /// engine must neither terminate early nor miss the `RoundQuiescent`

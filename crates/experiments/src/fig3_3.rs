@@ -26,14 +26,18 @@ pub struct ProducerConsumerTrace {
 }
 
 fn builder(seed: u64) -> SimulationBuilder {
-    SimulationBuilder::new(Grid2d::new(4, 4))
+    let mut builder = SimulationBuilder::new(Grid2d::new(4, 4))
         .config(
             StochasticConfig::new(0.5, 12)
                 .expect("valid")
                 .with_max_rounds(40),
         )
         .shards(crate::runner::default_shards())
-        .seed(seed)
+        .seed(seed);
+    if let Some(obs) = crate::runner::engine_obs() {
+        builder = builder.obs(obs);
+    }
+    builder
 }
 
 /// Drives one trial to completion; generic over the installed sink so
@@ -119,6 +123,9 @@ mod tests {
     #[test]
     fn traced_trial_matches_untraced_output() {
         // The JSONL sink observes; it must not perturb the figure data.
+        let _guard = crate::runner::GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dir = std::env::temp_dir().join("fig3_3_trace_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("events.jsonl");
@@ -152,5 +159,58 @@ mod tests {
             .collect();
         assert!(rounds.windows(2).all(|w| w[0] <= w[1]), "round-monotone");
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tracing_and_metrics_compose() {
+        use std::sync::Arc;
+
+        // `--trace-events` and `--metrics-out` together: the traced
+        // trial still streams JSONL, the engines still record spans, and
+        // the figure data stays byte-identical to the unobserved run.
+        let _guard = crate::runner::GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let plain = run(Scale::Quick);
+
+        let dir = std::env::temp_dir().join("fig3_3_compose_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let registry = Arc::new(noc_obs::Metrics::new());
+        crate::runner::install_metrics(Some(Arc::clone(&registry)));
+        crate::runner::set_trace_path(Some(path.to_string_lossy().into_owned()));
+        let observed = run(Scale::Quick);
+        crate::runner::set_trace_path(None);
+        crate::runner::install_metrics(None);
+
+        assert_eq!(observed.len(), plain.len());
+        for (a, b) in observed.iter().zip(&plain) {
+            assert_eq!(a.informed_per_round, b.informed_per_round);
+            assert_eq!(a.delivery_round, b.delivery_round);
+            assert_eq!(a.packets_sent, b.packets_sent);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(!text.is_empty(), "trace stream written alongside metrics");
+        std::fs::remove_file(&path).ok();
+
+        let snap = registry.snapshot();
+        let round_phase = snap
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "engine_phase_seconds"
+                    && h.labels == vec![("phase".to_string(), "round".to_string())]
+            })
+            .expect("sequential engines record whole-round spans");
+        assert!(round_phase.count > 0);
+        let trial = snap
+            .histograms
+            .iter()
+            .find(|h| {
+                h.name == "runner_trial_seconds"
+                    && h.labels == vec![("figure".to_string(), "fig3-3".to_string())]
+            })
+            .expect("runner recorded trial wall time");
+        assert!(trial.count > 0);
     }
 }

@@ -19,7 +19,7 @@ use std::io::{BufWriter, Write};
 
 use noc_fabric::{NodeId, Topology};
 use noc_faults::{AdversarialScenario, ByzantineMode, ErrorModel, FaultModel};
-use stochastic_noc::events::{CounterSink, EventCounts, EventSink, JsonlSink};
+use stochastic_noc::events::{CounterSink, EventCounts, EventSink, JsonlSink, TeeSink};
 use stochastic_noc::{Simulation, SimulationBuilder, SimulationReport};
 
 use crate::{Scale, TrialRunner};
@@ -128,14 +128,18 @@ fn builder(scale: Scale, adversary: &AdversarialScenario, seed: u64) -> Simulati
         .error_model(ErrorModel::RandomErrorVector)
         .build()
         .expect("valid model");
-    SimulationBuilder::new(Topology::grid(side, side))
+    let mut builder = SimulationBuilder::new(Topology::grid(side, side))
         .forward_probability(0.6)
         .ttl(15)
         .max_rounds(60)
         .fault_model(model)
         .adversary(adversary.clone())
         .shards(crate::runner::default_shards())
-        .seed(seed)
+        .seed(seed);
+    if let Some(obs) = crate::runner::engine_obs() {
+        builder = builder.obs(obs);
+    }
+    builder
 }
 
 fn inject_workload(sim: &mut Simulation<impl EventSink>, side: usize) {
@@ -176,19 +180,24 @@ pub fn run(scale: Scale) -> Vec<HostileRow> {
         let results: Vec<(SimulationReport, CounterSink)> =
             TrialRunner::for_figure(&format!("hostile-{name}"), reps).run_indexed(|index, seed| {
                 if let (Some(path), 0, "combined") = (&trace_to, index, name) {
-                    // The traced trial replays the identical schedule with a
-                    // JSONL sink, then re-runs with counters so the row data
-                    // still comes from a reconciled CounterSink trial.
+                    // The traced trial runs ONCE with a tee: the JSONL
+                    // stream and the row's reconciled CounterSink observe
+                    // the same event sequence from the same run.
                     let file = File::create(path)
                         .unwrap_or_else(|e| panic!("--trace-events: cannot create {path}: {e}"));
-                    let mut sim = builder(scale, &adversary, seed)
-                        .build_with_sink(JsonlSink::new(BufWriter::new(file)));
+                    let tee =
+                        TeeSink::new(JsonlSink::new(BufWriter::new(file)), CounterSink::new());
+                    let mut sim = builder(scale, &adversary, seed).build_with_sink(tee);
                     inject_workload(&mut sim, side);
-                    sim.run();
-                    let sink = sim.into_sink();
-                    let events = sink.events_written();
-                    let _ = sink.into_inner(); // flushes
+                    let report = sim.run();
+                    let (jsonl, counters) = sim.into_sink().into_parts();
+                    let events = jsonl.events_written();
+                    let _ = jsonl.into_inner(); // flushes
                     eprintln!("[trace] hostile/combined trial 0: {events} events -> {path}");
+                    counters.reconcile(&report).unwrap_or_else(|m| {
+                        panic!("hostile traced trial failed reconciliation: {m}")
+                    });
+                    return (report, counters);
                 }
                 run_one(scale, &adversary, seed)
             });

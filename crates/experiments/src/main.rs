@@ -1,8 +1,8 @@
 //! CLI entry point: regenerate any figure of the paper.
 //!
 //! ```text
-//! experiments <figure> [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
-//! experiments all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]
+//! experiments <figure> [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH] [--metrics-out PATH] [--progress]
+//! experiments all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH] [--metrics-out PATH] [--progress]
 //! ```
 //!
 //! `--threads N` pins the Monte-Carlo worker count (default:
@@ -12,9 +12,17 @@
 //! tables are bit-identical for every `N` here too.
 //! `--seed N` re-roots every figure's trial-seed derivation (default 0).
 //! `--trace-events PATH` streams a JSONL event log of one representative
-//! trial to PATH (currently supported by `fig3-3` and `hostile`).
+//! trial to PATH (currently supported by `fig3-3` and `hostile`); it
+//! composes with `--metrics-out` — the traced trial runs once, feeding
+//! both sinks.
 //! `--reconcile-json PATH` writes the CounterSink-vs-report
 //! reconciliation summary to PATH (currently supported by `hostile`).
+//! `--metrics-out PATH` turns on the wall-clock observability plane: a
+//! metrics snapshot (engine-phase spans, per-trial timings, throughput)
+//! is written to PATH as JSON and to PATH.prom as Prometheus text when
+//! all figures finish. Tables and digests are byte-identical either way.
+//! `--progress` emits throttled JSONL heartbeats on stderr while sweeps
+//! run (trials done/total, trials/sec, ETA).
 
 #![forbid(unsafe_code)]
 
@@ -63,7 +71,9 @@ fn run_figure(name: &str, scale: Scale) -> bool {
     true
 }
 
-/// Summarises the runner reports a figure deposited while it ran.
+/// Summarises the runner reports a figure deposited while it ran, as
+/// one `figure_done` JSONL line — the same machine-readable framing as
+/// `--progress` heartbeats.
 ///
 /// Goes to stderr so the tables on stdout stay byte-identical across
 /// thread counts.
@@ -75,16 +85,33 @@ fn print_runner_summary(name: &str) {
     let trials: u64 = reports.iter().map(|r| r.trials).sum();
     let elapsed: std::time::Duration = reports.iter().map(|r| r.elapsed).sum();
     let workers = reports.iter().map(|r| r.workers).max().unwrap_or(1);
-    let per_trial = if trials == 0 {
-        std::time::Duration::ZERO
+    let secs = elapsed.as_secs_f64();
+    let trials_per_sec = if secs > 0.0 {
+        trials as f64 / secs
     } else {
-        elapsed / u32::try_from(trials).unwrap_or(u32::MAX)
+        0.0
     };
     eprintln!(
-        "[runner] {name}: {trials} trials in {} sweep(s), {workers} worker(s), {:.1?} total ({:.1?}/trial)",
+        "{{\"event\":\"figure_done\",\"figure\":\"{name}\",\"sweeps\":{},\"trials\":{trials},\"workers\":{workers},\"elapsed_secs\":{secs:.3},\"trials_per_sec\":{trials_per_sec:.2}}}",
         reports.len(),
-        elapsed,
-        per_trial,
+    );
+}
+
+/// Writes the wall-clock metrics snapshot to `path` (JSON) and
+/// `path.prom` (Prometheus text exposition).
+fn write_metrics_snapshot(metrics: &noc_obs::Metrics, path: &str) {
+    let snapshot = metrics.snapshot();
+    let prom_path = format!("{path}.prom");
+    if let Err(err) = std::fs::write(path, snapshot.to_json()) {
+        eprintln!("failed to write metrics snapshot to {path}: {err}");
+        std::process::exit(1);
+    }
+    if let Err(err) = std::fs::write(&prom_path, snapshot.to_prometheus()) {
+        eprintln!("failed to write metrics snapshot to {prom_path}: {err}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "{{\"event\":\"metrics_written\",\"json\":\"{path}\",\"prometheus\":\"{prom_path}\"}}"
     );
 }
 
@@ -123,6 +150,13 @@ fn main() {
     }
     runner::set_trace_path(parse_string_flag(&args, "--trace-events"));
     runner::set_reconcile_json_path(parse_string_flag(&args, "--reconcile-json"));
+    let metrics_out = parse_string_flag(&args, "--metrics-out");
+    let metrics = metrics_out.as_ref().map(|_| {
+        let metrics = std::sync::Arc::new(noc_obs::Metrics::new());
+        runner::install_metrics(Some(std::sync::Arc::clone(&metrics)));
+        metrics
+    });
+    runner::set_progress(args.iter().any(|a| a == "--progress"));
     let mut skip_next = false;
     let targets: Vec<&str> = args
         .iter()
@@ -136,6 +170,7 @@ fn main() {
                 || *a == "--seed"
                 || *a == "--trace-events"
                 || *a == "--reconcile-json"
+                || *a == "--metrics-out"
             {
                 skip_next = true;
                 return false;
@@ -147,7 +182,7 @@ fn main() {
 
     if targets.is_empty() || targets == ["help"] {
         eprintln!(
-            "usage: experiments <figure>|all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH]"
+            "usage: experiments <figure>|all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH] [--metrics-out PATH] [--progress]"
         );
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });
@@ -161,5 +196,9 @@ fn main() {
             std::process::exit(2);
         }
         print_runner_summary(name);
+    }
+
+    if let (Some(metrics), Some(path)) = (metrics, metrics_out) {
+        write_metrics_snapshot(&metrics, &path);
     }
 }

@@ -7,7 +7,8 @@
 //! active-frontier worklist. The table reports only deterministic
 //! quantities (rounds, packets, deliveries, quiescent rounds), so its
 //! bytes are identical for every `--shards` and `--threads` value;
-//! wall-clock observability goes to stderr via the runner summary.
+//! wall-clock observability goes to the runner summary on stderr and,
+//! under `--metrics-out`, to per-phase engine span histograms.
 
 use noc_fabric::{NodeId, Topology};
 use noc_faults::FaultModel;
@@ -52,7 +53,7 @@ fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> Meg
         "faulty" => faulty_model(),
         _ => FaultModel::none(),
     };
-    let mut sim = SimulationBuilder::new(Topology::grid(side, side))
+    let mut builder = SimulationBuilder::new(Topology::grid(side, side))
         .config(
             StochasticConfig::new(0.75, ttl)
                 .expect("valid config")
@@ -61,8 +62,11 @@ fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> Meg
         )
         .fault_model(model)
         .shards(runner::default_shards())
-        .seed(seed)
-        .build();
+        .seed(seed);
+    if let Some(obs) = runner::engine_obs() {
+        builder = builder.obs(obs);
+    }
+    let mut sim = builder.build();
     // Broadcast burst: sources striped across the fabric, each targeting
     // the diagonally opposite tile, so traffic crosses every shard
     // boundary in both directions.
@@ -157,7 +161,55 @@ mod tests {
     }
 
     #[test]
+    fn sharded_run_records_engine_phase_spans() {
+        use std::sync::Arc;
+
+        // A sharded run with the wall-clock plane installed must time
+        // every sharded-path phase — and produce the same deterministic
+        // row as an uninstrumented run.
+        let _guard = runner::GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let baseline = run_one(32, "faulty", 4, 7);
+        let registry = Arc::new(noc_obs::Metrics::new());
+        runner::install_metrics(Some(Arc::clone(&registry)));
+        runner::set_default_shards(2);
+        let observed = run_one(32, "faulty", 4, 7);
+        runner::set_default_shards(1);
+        runner::install_metrics(None);
+
+        assert_eq!(observed.rounds, baseline.rounds);
+        assert_eq!(observed.packets_sent, baseline.packets_sent);
+        assert_eq!(observed.delivered, baseline.delivered);
+
+        let snap = registry.snapshot();
+        for phase in ["tape", "shard_fanout", "merge", "quiescence"] {
+            let hist = snap
+                .histograms
+                .iter()
+                .find(|h| {
+                    h.name == "engine_phase_seconds"
+                        && h.labels == vec![("phase".to_string(), phase.to_string())]
+                })
+                .unwrap_or_else(|| panic!("{phase} histogram registered"));
+            assert!(hist.count > 0, "{phase} phase recorded spans");
+            assert!(hist.sum_nanos > 0, "{phase} spans took nonzero time");
+        }
+        // `>=` rather than `==`: other concurrently-running figure tests
+        // may record into the installed registry while it is live.
+        let rounds = registry.counter_value("engine_rounds_total");
+        assert!(
+            rounds.unwrap_or(0) >= baseline.rounds,
+            "every round counted: {rounds:?} vs {}",
+            baseline.rounds
+        );
+    }
+
+    #[test]
     fn rows_are_shard_count_independent() {
+        let _guard = runner::GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let baseline = run_one(32, "faulty", 4, 99);
         for shards in [2usize, 8] {
             runner::set_default_shards(shards);

@@ -34,11 +34,13 @@
 //! assert_eq!(squares, serial, "output is thread-count independent");
 //! ```
 
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
+use noc_obs::{Counter, Gauge, Histogram, Metrics, Stopwatch};
 use stochastic_noc::seed::{derive_labeled_seed, derive_trial_seed};
+use stochastic_noc::EngineObs;
 
 /// Process-wide default worker count; 0 means "auto-detect".
 static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
@@ -69,6 +71,57 @@ pub fn set_trace_path(path: Option<String>) {
 /// The event-trace destination installed by `--trace-events`, if any.
 pub fn trace_path() -> Option<String> {
     TRACE_PATH.lock().expect("trace path lock").clone()
+}
+
+/// Process-wide wall-clock metrics registry (`--metrics-out PATH`);
+/// `None` when the observability plane is off, which is the default.
+static METRICS: Mutex<Option<Arc<Metrics>>> = Mutex::new(None);
+
+/// Serialises tests (across this crate) that mutate process-wide runner
+/// state — the metrics registry, shard default, trace path — so
+/// parallel test execution can't interleave installs and reads.
+#[cfg(test)]
+pub(crate) static GLOBAL_STATE_TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Whether `--progress` heartbeats are on.
+static PROGRESS: AtomicBool = AtomicBool::new(false);
+
+/// Installs (or, with `None`, removes) the process-wide wall-clock
+/// metrics registry. While installed, every [`TrialRunner::run`] records
+/// per-trial wall time, queue wait, and throughput into it, and figures
+/// wire [`engine_obs`] into their simulation builders so engine phases
+/// are timed too. Nothing on the deterministic plane (tables, reports,
+/// digests) can observe the registry — see DESIGN.md §13.
+pub fn install_metrics(metrics: Option<Arc<Metrics>>) {
+    *METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner) = metrics;
+}
+
+/// The installed wall-clock metrics registry, if any.
+pub fn metrics() -> Option<Arc<Metrics>> {
+    METRICS
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
+}
+
+/// Engine-phase instruments bound to the installed registry, for
+/// figures to pass to `SimulationBuilder::obs`. `None` when the
+/// wall-clock plane is off, so the default path builds uninstrumented
+/// engines.
+pub fn engine_obs() -> Option<EngineObs> {
+    metrics().map(|m| EngineObs::new(&m))
+}
+
+/// Turns `--progress` heartbeats on or off.
+pub fn set_progress(enabled: bool) {
+    PROGRESS.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether `--progress` heartbeats are enabled.
+pub fn progress_enabled() -> bool {
+    PROGRESS.load(Ordering::Relaxed)
 }
 
 /// Process-wide reconciliation-report destination (`--reconcile-json
@@ -156,6 +209,112 @@ impl RunnerReport {
             self.elapsed / u32::try_from(self.trials).unwrap_or(u32::MAX)
         }
     }
+}
+
+/// Wall-clock instruments for one sweep, present only while a metrics
+/// registry is installed. All handles are lock-free atomics, so worker
+/// threads record without coordination.
+struct RunnerObs {
+    trial_seconds: Histogram,
+    queue_wait: Histogram,
+    trials: Counter,
+    trials_per_sec: Gauge,
+}
+
+impl RunnerObs {
+    fn for_label(label: &str) -> Option<Self> {
+        let metrics = metrics()?;
+        let figure = if label.is_empty() { "unlabeled" } else { label };
+        Some(RunnerObs {
+            trial_seconds: metrics.histogram("runner_trial_seconds", &[("figure", figure)]),
+            queue_wait: metrics.histogram("runner_queue_wait_seconds", &[("figure", figure)]),
+            trials: metrics.counter("runner_trials_total", &[("figure", figure)]),
+            trials_per_sec: metrics.gauge("runner_trials_per_sec", &[("figure", figure)]),
+        })
+    }
+
+    /// Records one finished trial: its wall time and how long it sat in
+    /// the queue before a worker picked it up.
+    fn record_trial(&self, span: &Stopwatch, queue_wait_nanos: u64) {
+        self.trial_seconds.observe(span);
+        self.queue_wait.observe_nanos(queue_wait_nanos);
+        self.trials.inc();
+    }
+}
+
+/// Throttled `--progress` heartbeat emitter. Heartbeats are JSONL on
+/// stderr — stdout stays reserved for the deterministic tables.
+struct Heartbeat {
+    enabled: bool,
+    label: String,
+    total: u64,
+    /// Sweep-relative time of the last beat, for ~2 Hz throttling.
+    last_beat_secs: Mutex<f64>,
+}
+
+impl Heartbeat {
+    const MIN_INTERVAL_SECS: f64 = 0.5;
+
+    fn new(label: &str, total: u64) -> Self {
+        Heartbeat {
+            enabled: progress_enabled(),
+            label: label.to_string(),
+            total,
+            last_beat_secs: Mutex::new(f64::NEG_INFINITY),
+        }
+    }
+
+    /// Emits a heartbeat if enough time has passed since the previous
+    /// one. The final trial always beats, so every sweep ends with a
+    /// `trials_done == trials_total` line.
+    fn beat(&self, completed: u64, sweep: &Stopwatch) {
+        if !self.enabled {
+            return;
+        }
+        let elapsed = sweep.elapsed_secs();
+        {
+            let mut last = self
+                .last_beat_secs
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if completed < self.total && elapsed - *last < Self::MIN_INTERVAL_SECS {
+                return;
+            }
+            *last = elapsed;
+        }
+        let trials_per_sec = if elapsed > 0.0 {
+            completed as f64 / elapsed
+        } else {
+            0.0
+        };
+        let eta_secs = if trials_per_sec > 0.0 {
+            self.total.saturating_sub(completed) as f64 / trials_per_sec
+        } else {
+            0.0
+        };
+        let rounds_per_sec = match (
+            metrics().and_then(|m| m.counter_value("engine_rounds_total")),
+            elapsed > 0.0,
+        ) {
+            (Some(rounds), true) => rounds as f64 / elapsed,
+            _ => 0.0,
+        };
+        eprintln!(
+            "{{\"event\":\"progress\",\"figure\":\"{}\",\"trials_done\":{},\"trials_total\":{},\"elapsed_secs\":{:.3},\"trials_per_sec\":{:.2},\"eta_secs\":{:.1},\"rounds_per_sec\":{:.1}}}",
+            escape_label(&self.label),
+            completed,
+            self.total,
+            elapsed,
+            trials_per_sec,
+            eta_secs,
+            rounds_per_sec,
+        );
+    }
+}
+
+/// Minimal JSON string escaping for figure labels in heartbeats.
+fn escape_label(label: &str) -> String {
+    label.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
 /// A deterministic parallel Monte-Carlo sweep: a base seed, a trial
@@ -246,12 +405,30 @@ impl TrialRunner {
     {
         let trials = usize::try_from(self.trials).expect("trial count fits usize");
         let workers = self.effective_workers();
-        // noc-lint: allow(nondeterministic-time, reason = "wall-clock is stderr observability only; trial seeds and all table output derive from the seed tree")
-        let start = Instant::now();
+        // Wall-clock plane only: the sweep stopwatch, per-trial spans and
+        // heartbeats never influence trial seeds or table output, which
+        // derive purely from the seed tree.
+        let sweep = Stopwatch::start();
+        let obs = RunnerObs::for_label(&self.label);
+        let heartbeat = Heartbeat::new(&self.label, self.trials);
+        let done = AtomicU64::new(0);
+        let finish = |index_elapsed_nanos: u64, span: Stopwatch| {
+            if let Some(obs) = &obs {
+                obs.record_trial(&span, index_elapsed_nanos);
+            }
+            let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+            heartbeat.beat(completed, &sweep);
+        };
 
         let results: Vec<T> = if workers <= 1 || trials <= 1 {
             (0..trials)
-                .map(|i| f(i, self.trial_seed(i as u64)))
+                .map(|i| {
+                    let queued = sweep.elapsed_nanos();
+                    let span = Stopwatch::start();
+                    let result = f(i, self.trial_seed(i as u64));
+                    finish(queued, span);
+                    result
+                })
                 .collect()
         } else {
             // Work-stealing by atomic counter: each worker claims the next
@@ -267,7 +444,12 @@ impl TrialRunner {
                         if index >= trials {
                             break;
                         }
+                        // Queue wait: how long the trial sat unclaimed
+                        // after the sweep opened.
+                        let queued = sweep.elapsed_nanos();
+                        let span = Stopwatch::start();
                         let result = f(index, self.trial_seed(index as u64));
+                        finish(queued, span);
                         slots.lock().expect("result slot lock")[index] = Some(result);
                     });
                 }
@@ -280,6 +462,13 @@ impl TrialRunner {
                 .collect()
         };
 
+        let elapsed = sweep.elapsed();
+        if let Some(obs) = &obs {
+            let secs = elapsed.as_secs_f64();
+            if secs > 0.0 {
+                obs.trials_per_sec.set(self.trials as f64 / secs);
+            }
+        }
         REPORTS
             .lock()
             .expect("runner report lock")
@@ -287,7 +476,7 @@ impl TrialRunner {
                 label: self.label.clone(),
                 trials: self.trials,
                 workers,
-                elapsed: start.elapsed(),
+                elapsed,
             });
         results
     }
@@ -366,6 +555,9 @@ mod tests {
 
     #[test]
     fn shard_default_roundtrips() {
+        let _guard = GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         assert_eq!(default_shards(), 1, "sequential rounds by default");
         set_default_shards(8);
         assert_eq!(default_shards(), 8);
@@ -421,6 +613,68 @@ mod tests {
         for threads in [2, 8] {
             assert_eq!(run_merged(threads), serial, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn installed_metrics_record_trial_wall_time_and_throughput() {
+        // Other tests in this binary share the process-wide registry
+        // slot, so install our own, run, and restore promptly. The
+        // unique label keeps the assertion independent of what else ran.
+        let _guard = GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let registry = Arc::new(Metrics::new());
+        install_metrics(Some(Arc::clone(&registry)));
+        let baseline = TrialRunner::new(5, 9)
+            .threads(3)
+            .label("obs-probe")
+            .run(|seed| seed.wrapping_mul(3));
+        install_metrics(None);
+        assert_eq!(baseline.len(), 9);
+
+        let snap = registry.snapshot();
+        let labels = vec![("figure".to_string(), "obs-probe".to_string())];
+        let trial = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "runner_trial_seconds" && h.labels == labels)
+            .expect("trial histogram registered");
+        assert_eq!(trial.count, 9, "one observation per trial");
+        let wait = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "runner_queue_wait_seconds" && h.labels == labels)
+            .expect("queue-wait histogram registered");
+        assert_eq!(wait.count, 9);
+        let trials = snap
+            .counters
+            .iter()
+            .find(|c| c.name == "runner_trials_total" && c.labels == labels)
+            .expect("trial counter registered");
+        assert_eq!(trials.value, 9);
+        let tps = snap
+            .gauges
+            .iter()
+            .find(|g| g.name == "runner_trials_per_sec" && g.labels == labels)
+            .expect("throughput gauge registered");
+        assert!(tps.value > 0.0, "sweep took nonzero time");
+
+        // With no registry installed the runner records nothing new and
+        // figures get no engine instruments. (Kept in this test rather
+        // than its own so the process-wide registry slot has a single
+        // owner under parallel test execution.)
+        assert!(engine_obs().is_none());
+        let before = registry.snapshot();
+        let _ = TrialRunner::new(5, 4).label("obs-probe").run(|seed| seed);
+        let after = registry.snapshot();
+        assert_eq!(
+            before.counters, after.counters,
+            "uninstalled registry sees no new trials"
+        );
+
+        install_metrics(Some(Arc::clone(&registry)));
+        assert!(engine_obs().is_some(), "instruments bind to the registry");
+        install_metrics(None);
     }
 
     #[test]

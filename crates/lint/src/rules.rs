@@ -42,8 +42,9 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "nondeterministic-time",
-        invariant: "simulation crates never read wall-clock time (Instant::now/SystemTime::now); \
-                    rounds are the only clock",
+        invariant: "only noc-obs (crates/obs) may read wall-clock time (Instant::now/\
+                    SystemTime::now); everything else times spans through noc_obs::Stopwatch, \
+                    and simulation results use rounds as the only clock",
     },
     RuleInfo {
         name: "map-iteration-order",
@@ -88,6 +89,7 @@ const LIB_CRATES: &[&str] = &[
     "crates/dsp/",
     "crates/apps/",
     "crates/diversity/",
+    "crates/obs/",
 ];
 
 /// Files forming the per-round hot path.
@@ -218,9 +220,10 @@ fn ambient_rng(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
 }
 
 fn nondeterministic_time(rel_path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
-    // The bench harness and the linter itself measure wall-clock time by
-    // design; everything else in the workspace is simulation code.
-    if rel_path.starts_with("crates/bench/") || rel_path.starts_with("crates/lint/") {
+    // noc-obs wraps the one sanctioned clock read (`Stopwatch::start`);
+    // every other crate — bench harness and linter included — times
+    // wall-clock spans through that API.
+    if rel_path.starts_with("crates/obs/") {
         return;
     }
     for (i, tok) in tokens.iter().enumerate() {
@@ -235,7 +238,8 @@ fn nondeterministic_time(rel_path: &str, tokens: &[Token], findings: &mut Vec<Fi
                 tok.line,
                 tok.column,
                 format!(
-                    "`{}::now()` reads the wall clock; simulation time is the round counter",
+                    "`{}::now()` reads the wall clock directly; time spans through \
+                     noc_obs::Stopwatch (simulation results use the round counter)",
                     tok.text
                 ),
             ));
@@ -425,18 +429,21 @@ mod tests {
     }
 
     #[test]
-    fn instant_now_flagged_except_in_bench() {
+    fn instant_now_flagged_everywhere_except_obs() {
         let src = "let t = Instant::now();";
         assert_eq!(
             rules_of(&run("crates/experiments/src/runner.rs", src)),
             ["nondeterministic-time"]
         );
-        // The bench harness is exempt (crate-root audit still applies,
-        // so compare rule-by-rule).
-        assert!(
-            !rules_of(&run("crates/bench/src/bin/perf_baseline.rs", src))
-                .contains(&"nondeterministic-time")
-        );
+        // The bench harness must also go through noc_obs::Stopwatch
+        // (crate-root audit still applies, so compare rule-by-rule).
+        assert!(rules_of(&run("crates/bench/src/bin/perf_baseline.rs", src))
+            .contains(&"nondeterministic-time"));
+        // noc-obs wraps the sanctioned clock read.
+        assert!(run("crates/obs/src/time.rs", src).is_empty());
+        // Going through the Stopwatch API is clean anywhere.
+        let wrapped = "let t = noc_obs::Stopwatch::start();";
+        assert!(run("crates/experiments/src/runner.rs", wrapped).is_empty());
     }
 
     #[test]

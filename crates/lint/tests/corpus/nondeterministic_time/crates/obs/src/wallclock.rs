@@ -1,0 +1,5 @@
+//! Scoped negative: noc-obs wraps the one sanctioned clock read.
+
+pub fn start() -> std::time::Instant {
+    std::time::Instant::now()
+}
