@@ -1,0 +1,914 @@
+//! Serializable engine checkpoints: snapshot a running [`Simulation`]
+//! at a round boundary, persist it, and resume later — on the same or a
+//! different shard count — with byte-identical reports, digests and
+//! event streams.
+//!
+//! A [`Checkpoint`] captures *every* piece of engine state that can
+//! influence future draws and deliveries:
+//!
+//! * RNG stream positions — the trial fault stream (xoshiro256++ state
+//!   plus the Box–Muller spare of the skew sampler), every per-link
+//!   chaos stream, and every per-tile Byzantine stream;
+//! * per-tile [`SendBuffer`](crate::SendBuffer)s (live messages, the
+//!   seen-set, expiry counts) and round-robin egress cursors;
+//! * per-tile clock domains (residual skew, slip totals);
+//! * the arrival arenas (`next` and `later` delay lines) with each
+//!   frame's bytes, scrambled flag and arrival link — the `Inflight`
+//!   frontier bookkeeping is rebuilt exactly from these on restore;
+//! * adversary progress (replay ammunition per Byzantine tile; the
+//!   partition/crash schedules themselves are pure functions of the
+//!   round and need no state);
+//! * the report-so-far, the informed/terminated bookkeeping, and the
+//!   round/id/started/completed cursors.
+//!
+//! What is deliberately **not** captured: custom IP-core state.
+//! [`IpCore`](noc_fabric::IpCore) is an open trait object; callers that
+//! map stateful IPs must re-map equivalently-stateful IPs before
+//! resuming (the `started` flag is restored, so `on_start` never fires
+//! twice). All golden workloads inject via
+//! [`Simulation::inject`](crate::Simulation::inject) and are unaffected.
+//!
+//! The wire format is a hand-rolled versioned little-endian binary
+//! encoding (magic + version header), dependency-free by construction:
+//! the build environment has no serialization crates beyond the local
+//! shims. The encoding of a checkpoint is deterministic — hash-ordered
+//! collections are sorted before writing — so two checkpoints of
+//! identical engine state are byte-identical.
+//!
+//! # Examples
+//!
+//! ```
+//! use noc_fabric::NodeId;
+//! use stochastic_noc::{Checkpoint, SimulationBuilder};
+//!
+//! let mut sim = SimulationBuilder::square_grid(4).ttl(8).seed(1).build();
+//! sim.inject(NodeId(0), NodeId(15), b"snapshot me".to_vec());
+//! sim.step();
+//! let bytes = sim.checkpoint().to_bytes();
+//!
+//! let restored = Checkpoint::from_bytes(&bytes).unwrap();
+//! let mut resumed = SimulationBuilder::square_grid(4)
+//!     .ttl(8)
+//!     .seed(1)
+//!     .resume(&restored)
+//!     .unwrap();
+//! assert_eq!(resumed.round(), 1);
+//! let straight = sim.run();
+//! assert_eq!(format!("{straight:?}"), format!("{:?}", resumed.run()));
+//! ```
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Magic bytes opening every serialized checkpoint.
+const MAGIC: &[u8; 8] = b"NOCSIMCK";
+
+/// Current wire-format version. Bump on any layout change; readers
+/// reject versions they do not understand instead of misparsing.
+const VERSION: u32 = 1;
+
+/// Error decoding, validating, or (for the convenience file helpers)
+/// reading/writing a [`Checkpoint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// The byte stream ended before the encoded structure did.
+    Truncated,
+    /// The stream does not open with the checkpoint magic.
+    BadMagic,
+    /// The stream's format version is not supported by this build.
+    UnsupportedVersion(u32),
+    /// Bytes remained after the encoded structure ended.
+    TrailingBytes(usize),
+    /// The checkpoint does not match the simulation it is being
+    /// restored into (different topology, config, fault model,
+    /// adversary, or seed — or internally inconsistent lengths).
+    Mismatch(&'static str),
+    /// A file read/write failed (message carries the `io::Error` text).
+    Io(String),
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Truncated => write!(f, "checkpoint truncated"),
+            Self::BadMagic => write!(f, "not a checkpoint (bad magic)"),
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported checkpoint version {v} (this build reads {VERSION})"
+                )
+            }
+            Self::TrailingBytes(n) => write!(f, "{n} trailing bytes after checkpoint"),
+            Self::Mismatch(what) => {
+                write!(f, "checkpoint does not match this simulation: {what}")
+            }
+            Self::Io(msg) => write!(f, "checkpoint i/o error: {msg}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// One buffered message, flattened to plain words and bytes.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct MessageState {
+    pub(crate) id: u64,
+    pub(crate) source: u64,
+    pub(crate) destination: u64,
+    pub(crate) ttl: u8,
+    pub(crate) payload: Vec<u8>,
+}
+
+/// One tile's send buffer: live messages in insertion order, the
+/// seen-set sorted ascending, and the running expiry count.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct BufferState {
+    pub(crate) messages: Vec<MessageState>,
+    pub(crate) seen: Vec<u64>,
+    pub(crate) expired: u64,
+}
+
+/// One in-flight frame in an arrival arena.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct FrameState {
+    pub(crate) bytes: Vec<u8>,
+    pub(crate) scrambled: bool,
+    pub(crate) via: Option<u64>,
+}
+
+/// One message's report record.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RecordState {
+    pub(crate) id: u64,
+    pub(crate) source: u64,
+    pub(crate) destination: u64,
+    pub(crate) injected_round: u64,
+    pub(crate) delivered_round: Option<u64>,
+    pub(crate) frame_bits: u64,
+}
+
+/// The report-so-far: every public counter plus the per-message records.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub(crate) struct ReportState {
+    pub(crate) rounds_executed: u64,
+    pub(crate) completed: bool,
+    pub(crate) packets_sent: u64,
+    pub(crate) bits_sent: u64,
+    pub(crate) upsets_detected: u64,
+    pub(crate) upsets_undetected: u64,
+    pub(crate) overflow_drops: u64,
+    pub(crate) crash_drops: u64,
+    pub(crate) clock_slips: u64,
+    pub(crate) ttl_expirations: u64,
+    pub(crate) partition_drops: u64,
+    pub(crate) byzantine_forges: u64,
+    pub(crate) byzantine_replays: u64,
+    pub(crate) adversarial_delays: u64,
+    pub(crate) adversarial_reorders: u64,
+    pub(crate) quiescent_rounds: u64,
+    pub(crate) records: Vec<RecordState>,
+}
+
+/// A round-boundary snapshot of a [`Simulation`](crate::Simulation).
+///
+/// Capture one with
+/// [`Simulation::checkpoint`](crate::Simulation::checkpoint) (valid at
+/// any round boundary — i.e. whenever you hold `&self` outside
+/// [`step`](crate::Simulation::step)), serialize with
+/// [`Checkpoint::to_bytes`]/[`Checkpoint::save`], and resume with
+/// [`SimulationBuilder::resume`](crate::SimulationBuilder::resume) on a
+/// builder configured identically (the shard count and event sink are
+/// free to differ — neither is observable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Digest of the defining tuple `(topology, config, fault model,
+    /// crash schedule, adversary, seed)`; resume refuses a mismatch.
+    pub(crate) config_digest: u64,
+    pub(crate) round: u64,
+    pub(crate) next_message_id: u64,
+    pub(crate) started: bool,
+    pub(crate) completed: bool,
+    pub(crate) injector_rng: [u64; 4],
+    pub(crate) injector_spare: Option<f64>,
+    pub(crate) tally_upsets: u64,
+    pub(crate) tally_overflow_drops: u64,
+    pub(crate) tally_skew_draws: u64,
+    pub(crate) chaos_states: Vec<[u64; 4]>,
+    pub(crate) byz_states: Vec<(u64, [u64; 4])>,
+    pub(crate) byz_last_frames: Vec<(u64, u64, Vec<u8>)>,
+    pub(crate) tiles_alive: Vec<bool>,
+    pub(crate) links_alive: Vec<bool>,
+    pub(crate) clocks: Vec<(f64, u64)>,
+    pub(crate) egress_next: Vec<Option<u64>>,
+    pub(crate) buffers: Vec<BufferState>,
+    pub(crate) inbox_next: Vec<Vec<FrameState>>,
+    pub(crate) inbox_later: Vec<Vec<FrameState>>,
+    pub(crate) informed: Vec<(u64, u64)>,
+    pub(crate) terminated: Vec<u64>,
+    pub(crate) report: ReportState,
+}
+
+impl Checkpoint {
+    /// The round boundary this checkpoint was taken at (number of
+    /// rounds fully executed before capture).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Digest of the simulation's defining configuration tuple. Two
+    /// checkpoints are resumable into the same builder iff their
+    /// digests agree.
+    pub fn config_digest(&self) -> u64 {
+        self.config_digest
+    }
+
+    /// Serializes into the versioned binary wire format.
+    ///
+    /// The encoding is deterministic: the same engine state always
+    /// produces the same bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes_raw(MAGIC);
+        w.u32(VERSION);
+        w.u64(self.config_digest);
+        w.u64(self.round);
+        w.u64(self.next_message_id);
+        w.bool(self.started);
+        w.bool(self.completed);
+        for word in self.injector_rng {
+            w.u64(word);
+        }
+        w.opt_f64(self.injector_spare);
+        w.u64(self.tally_upsets);
+        w.u64(self.tally_overflow_drops);
+        w.u64(self.tally_skew_draws);
+        w.u64(self.chaos_states.len() as u64);
+        for state in &self.chaos_states {
+            for &word in state {
+                w.u64(word);
+            }
+        }
+        w.u64(self.byz_states.len() as u64);
+        for (tile, state) in &self.byz_states {
+            w.u64(*tile);
+            for &word in state {
+                w.u64(word);
+            }
+        }
+        w.u64(self.byz_last_frames.len() as u64);
+        for (tile, id, frame) in &self.byz_last_frames {
+            w.u64(*tile);
+            w.u64(*id);
+            w.bytes(frame);
+        }
+        w.bools(&self.tiles_alive);
+        w.bools(&self.links_alive);
+        w.u64(self.clocks.len() as u64);
+        for &(skew, slips) in &self.clocks {
+            w.f64(skew);
+            w.u64(slips);
+        }
+        w.u64(self.egress_next.len() as u64);
+        for &cursor in &self.egress_next {
+            w.opt_u64(cursor);
+        }
+        w.u64(self.buffers.len() as u64);
+        for buffer in &self.buffers {
+            w.u64(buffer.messages.len() as u64);
+            for m in &buffer.messages {
+                w.u64(m.id);
+                w.u64(m.source);
+                w.u64(m.destination);
+                w.u8(m.ttl);
+                w.bytes(&m.payload);
+            }
+            w.u64(buffer.seen.len() as u64);
+            for &id in &buffer.seen {
+                w.u64(id);
+            }
+            w.u64(buffer.expired);
+        }
+        for arena in [&self.inbox_next, &self.inbox_later] {
+            w.u64(arena.len() as u64);
+            for frames in arena {
+                w.u64(frames.len() as u64);
+                for frame in frames {
+                    w.bytes(&frame.bytes);
+                    w.bool(frame.scrambled);
+                    w.opt_u64(frame.via);
+                }
+            }
+        }
+        w.u64(self.informed.len() as u64);
+        for &(id, count) in &self.informed {
+            w.u64(id);
+            w.u64(count);
+        }
+        w.u64(self.terminated.len() as u64);
+        for &id in &self.terminated {
+            w.u64(id);
+        }
+        let r = &self.report;
+        w.u64(r.rounds_executed);
+        w.bool(r.completed);
+        w.u64(r.packets_sent);
+        w.u64(r.bits_sent);
+        w.u64(r.upsets_detected);
+        w.u64(r.upsets_undetected);
+        w.u64(r.overflow_drops);
+        w.u64(r.crash_drops);
+        w.u64(r.clock_slips);
+        w.u64(r.ttl_expirations);
+        w.u64(r.partition_drops);
+        w.u64(r.byzantine_forges);
+        w.u64(r.byzantine_replays);
+        w.u64(r.adversarial_delays);
+        w.u64(r.adversarial_reorders);
+        w.u64(r.quiescent_rounds);
+        w.u64(r.records.len() as u64);
+        for rec in &r.records {
+            w.u64(rec.id);
+            w.u64(rec.source);
+            w.u64(rec.destination);
+            w.u64(rec.injected_round);
+            w.opt_u64(rec.delivered_round);
+            w.u64(rec.frame_bits);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes a checkpoint previously produced by
+    /// [`Checkpoint::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] on a bad magic, an unsupported
+    /// version, truncation, or trailing bytes.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = Reader::new(data);
+        if r.bytes_raw(8)? != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != VERSION {
+            return Err(CheckpointError::UnsupportedVersion(version));
+        }
+        let config_digest = r.u64()?;
+        let round = r.u64()?;
+        let next_message_id = r.u64()?;
+        let started = r.bool()?;
+        let completed = r.bool()?;
+        let mut injector_rng = [0u64; 4];
+        for word in &mut injector_rng {
+            *word = r.u64()?;
+        }
+        let injector_spare = r.opt_f64()?;
+        let tally_upsets = r.u64()?;
+        let tally_overflow_drops = r.u64()?;
+        let tally_skew_draws = r.u64()?;
+        let chaos_states = {
+            let count = r.len()?;
+            let mut states = Vec::with_capacity(count);
+            for _ in 0..count {
+                let mut state = [0u64; 4];
+                for word in &mut state {
+                    *word = r.u64()?;
+                }
+                states.push(state);
+            }
+            states
+        };
+        let byz_states = {
+            let count = r.len()?;
+            let mut states = Vec::with_capacity(count);
+            for _ in 0..count {
+                let tile = r.u64()?;
+                let mut state = [0u64; 4];
+                for word in &mut state {
+                    *word = r.u64()?;
+                }
+                states.push((tile, state));
+            }
+            states
+        };
+        let byz_last_frames = {
+            let count = r.len()?;
+            let mut frames = Vec::with_capacity(count);
+            for _ in 0..count {
+                let tile = r.u64()?;
+                let id = r.u64()?;
+                let frame = r.bytes()?;
+                frames.push((tile, id, frame));
+            }
+            frames
+        };
+        let tiles_alive = r.bools()?;
+        let links_alive = r.bools()?;
+        let clocks = {
+            let count = r.len()?;
+            let mut clocks = Vec::with_capacity(count);
+            for _ in 0..count {
+                let skew = r.f64()?;
+                let slips = r.u64()?;
+                clocks.push((skew, slips));
+            }
+            clocks
+        };
+        let egress_next = {
+            let count = r.len()?;
+            let mut cursors = Vec::with_capacity(count);
+            for _ in 0..count {
+                cursors.push(r.opt_u64()?);
+            }
+            cursors
+        };
+        let buffers = {
+            let count = r.len()?;
+            let mut buffers = Vec::with_capacity(count);
+            for _ in 0..count {
+                let messages = {
+                    let count = r.len()?;
+                    let mut messages = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        messages.push(MessageState {
+                            id: r.u64()?,
+                            source: r.u64()?,
+                            destination: r.u64()?,
+                            ttl: r.u8()?,
+                            payload: r.bytes()?,
+                        });
+                    }
+                    messages
+                };
+                let seen = {
+                    let count = r.len()?;
+                    let mut seen = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        seen.push(r.u64()?);
+                    }
+                    seen
+                };
+                let expired = r.u64()?;
+                buffers.push(BufferState {
+                    messages,
+                    seen,
+                    expired,
+                });
+            }
+            buffers
+        };
+        let mut arenas = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let tiles = r.len()?;
+            let mut arena = Vec::with_capacity(tiles);
+            for _ in 0..tiles {
+                let count = r.len()?;
+                let mut frames = Vec::with_capacity(count);
+                for _ in 0..count {
+                    frames.push(FrameState {
+                        bytes: r.bytes()?,
+                        scrambled: r.bool()?,
+                        via: r.opt_u64()?,
+                    });
+                }
+                arena.push(frames);
+            }
+            arenas.push(arena);
+        }
+        let inbox_later = arenas.pop().unwrap_or_default();
+        let inbox_next = arenas.pop().unwrap_or_default();
+        let informed = {
+            let count = r.len()?;
+            let mut informed = Vec::with_capacity(count);
+            for _ in 0..count {
+                let id = r.u64()?;
+                let n = r.u64()?;
+                informed.push((id, n));
+            }
+            informed
+        };
+        let terminated = {
+            let count = r.len()?;
+            let mut terminated = Vec::with_capacity(count);
+            for _ in 0..count {
+                terminated.push(r.u64()?);
+            }
+            terminated
+        };
+        let report = ReportState {
+            rounds_executed: r.u64()?,
+            completed: r.bool()?,
+            packets_sent: r.u64()?,
+            bits_sent: r.u64()?,
+            upsets_detected: r.u64()?,
+            upsets_undetected: r.u64()?,
+            overflow_drops: r.u64()?,
+            crash_drops: r.u64()?,
+            clock_slips: r.u64()?,
+            ttl_expirations: r.u64()?,
+            partition_drops: r.u64()?,
+            byzantine_forges: r.u64()?,
+            byzantine_replays: r.u64()?,
+            adversarial_delays: r.u64()?,
+            adversarial_reorders: r.u64()?,
+            quiescent_rounds: r.u64()?,
+            records: {
+                let count = r.len()?;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(RecordState {
+                        id: r.u64()?,
+                        source: r.u64()?,
+                        destination: r.u64()?,
+                        injected_round: r.u64()?,
+                        delivered_round: r.opt_u64()?,
+                        frame_bits: r.u64()?,
+                    });
+                }
+                records
+            },
+        };
+        let remaining = r.remaining();
+        if remaining != 0 {
+            return Err(CheckpointError::TrailingBytes(remaining));
+        }
+        Ok(Checkpoint {
+            config_digest,
+            round,
+            next_message_id,
+            started,
+            completed,
+            injector_rng,
+            injector_spare,
+            tally_upsets,
+            tally_overflow_drops,
+            tally_skew_draws,
+            chaos_states,
+            byz_states,
+            byz_last_frames,
+            tiles_alive,
+            links_alive,
+            clocks,
+            egress_next,
+            buffers,
+            inbox_next,
+            inbox_later,
+            informed,
+            terminated,
+            report,
+        })
+    }
+
+    /// Writes the serialized checkpoint to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if the write fails.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
+        std::fs::write(path.as_ref(), self.to_bytes())
+            .map_err(|e| CheckpointError::Io(e.to_string()))
+    }
+
+    /// Reads and decodes a checkpoint from `path`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] if the read fails, or any decode
+    /// error from [`Checkpoint::from_bytes`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CheckpointError> {
+        let data = std::fs::read(path.as_ref()).map_err(|e| CheckpointError::Io(e.to_string()))?;
+        Self::from_bytes(&data)
+    }
+}
+
+/// Little-endian binary writer over a growable buffer.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    fn bytes_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn opt_u64(&mut self, v: Option<u64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.u64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            Some(v) => {
+                self.u8(1);
+                self.f64(v);
+            }
+            None => self.u8(0),
+        }
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        self.u64(bytes.len() as u64);
+        self.bytes_raw(bytes);
+    }
+
+    fn bools(&mut self, bools: &[bool]) {
+        self.u64(bools.len() as u64);
+        for &b in bools {
+            self.bool(b);
+        }
+    }
+}
+
+/// Bounds-checked little-endian reader over a byte slice.
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn bytes_raw(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&end| end <= self.data.len())
+            .ok_or(CheckpointError::Truncated)?;
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, CheckpointError> {
+        Ok(self.bytes_raw(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool, CheckpointError> {
+        Ok(self.u8()? != 0)
+    }
+
+    fn u32(&mut self) -> Result<u32, CheckpointError> {
+        let raw = self.bytes_raw(4)?;
+        let mut le = [0u8; 4];
+        le.copy_from_slice(raw);
+        Ok(u32::from_le_bytes(le))
+    }
+
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let raw = self.bytes_raw(8)?;
+        let mut le = [0u8; 8];
+        le.copy_from_slice(raw);
+        Ok(u64::from_le_bytes(le))
+    }
+
+    fn f64(&mut self) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A length prefix, sanity-bounded by the remaining byte count so a
+    /// corrupt stream cannot trigger a huge allocation.
+    fn len(&mut self) -> Result<usize, CheckpointError> {
+        let len = self.u64()?;
+        if len > self.remaining() as u64 * 8 + 8 {
+            return Err(CheckpointError::Truncated);
+        }
+        Ok(len as usize)
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, CheckpointError> {
+        if self.bool()? {
+            Ok(Some(self.u64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, CheckpointError> {
+        if self.bool()? {
+            Ok(Some(self.f64()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn bytes(&mut self) -> Result<Vec<u8>, CheckpointError> {
+        let len = self.len()?;
+        Ok(self.bytes_raw(len)?.to_vec())
+    }
+
+    fn bools(&mut self) -> Result<Vec<bool>, CheckpointError> {
+        let len = self.len()?;
+        let raw = self.bytes_raw(len)?;
+        Ok(raw.iter().map(|&b| b != 0).collect())
+    }
+}
+
+/// FNV-1a over a byte stream — the digest primitive behind
+/// [`Checkpoint::config_digest`]. Stable across processes and
+/// platforms; not cryptographic (it guards against honest mistakes,
+/// not adversaries).
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut hash = FNV_OFFSET;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_checkpoint() -> Checkpoint {
+        Checkpoint {
+            config_digest: 0xDEAD_BEEF,
+            round: 3,
+            next_message_id: 2,
+            started: true,
+            completed: false,
+            injector_rng: [1, 2, 3, 4],
+            injector_spare: Some(-0.75),
+            tally_upsets: 5,
+            tally_overflow_drops: 6,
+            tally_skew_draws: 7,
+            chaos_states: vec![[9, 8, 7, 6]],
+            byz_states: vec![(2, [5, 4, 3, 2])],
+            byz_last_frames: vec![(2, 0, vec![0xAA, 0xBB])],
+            tiles_alive: vec![true, false, true],
+            links_alive: vec![true, true],
+            clocks: vec![(0.25, 1), (0.0, 0), (-0.4, 3)],
+            egress_next: vec![None, Some(1), None],
+            buffers: vec![
+                BufferState {
+                    messages: vec![MessageState {
+                        id: 0,
+                        source: 0,
+                        destination: 2,
+                        ttl: 4,
+                        payload: vec![1, 2, 3],
+                    }],
+                    seen: vec![0],
+                    expired: 1,
+                },
+                BufferState::default(),
+                BufferState::default(),
+            ],
+            inbox_next: vec![
+                vec![FrameState {
+                    bytes: vec![7, 7, 7],
+                    scrambled: true,
+                    via: Some(1),
+                }],
+                Vec::new(),
+                Vec::new(),
+            ],
+            inbox_later: vec![Vec::new(), Vec::new(), Vec::new()],
+            informed: vec![(0, 2)],
+            terminated: vec![1],
+            report: ReportState {
+                rounds_executed: 3,
+                completed: false,
+                packets_sent: 11,
+                bits_sent: 1776,
+                records: vec![RecordState {
+                    id: 0,
+                    source: 0,
+                    destination: 2,
+                    injected_round: 0,
+                    delivered_round: Some(2),
+                    frame_bits: 88,
+                }],
+                ..ReportState::default()
+            },
+        }
+    }
+
+    #[test]
+    fn round_trips_byte_identically() {
+        let ck = tiny_checkpoint();
+        let bytes = ck.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ck, back);
+        assert_eq!(bytes, back.to_bytes(), "re-encoding is stable");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = tiny_checkpoint().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_version() {
+        let mut bytes = tiny_checkpoint().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn rejects_every_truncation() {
+        let bytes = tiny_checkpoint().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Checkpoint::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    CheckpointError::Truncated
+                        | CheckpointError::BadMagic
+                        | CheckpointError::TrailingBytes(_)
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut bytes = tiny_checkpoint().to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes),
+            Err(CheckpointError::TrailingBytes(1))
+        );
+    }
+
+    #[test]
+    fn nan_spare_survives_the_round_trip_bitwise() {
+        // f64 fields travel as raw bits, so even a NaN spare (never
+        // produced by Box–Muller, but the format must not care) is
+        // restored bit-exactly.
+        let mut ck = tiny_checkpoint();
+        ck.injector_spare = Some(f64::from_bits(0x7FF8_0000_0000_0001));
+        let back = Checkpoint::from_bytes(&ck.to_bytes()).unwrap();
+        assert_eq!(
+            back.injector_spare.map(f64::to_bits),
+            ck.injector_spare.map(f64::to_bits)
+        );
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(CheckpointError::Truncated.to_string().contains("truncated"));
+        assert!(CheckpointError::BadMagic.to_string().contains("magic"));
+        assert!(CheckpointError::UnsupportedVersion(9)
+            .to_string()
+            .contains('9'));
+        assert!(CheckpointError::Mismatch("seed")
+            .to_string()
+            .contains("seed"));
+        assert!(CheckpointError::Io("denied".into())
+            .to_string()
+            .contains("denied"));
+        assert!(CheckpointError::TrailingBytes(3).to_string().contains('3'));
+    }
+}

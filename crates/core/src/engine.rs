@@ -26,7 +26,8 @@ use noc_fabric::{
     WireCodec,
 };
 use noc_faults::{
-    AdversarialScenario, ByzantineMode, CrashSchedule, FaultInjector, FaultModel, OverflowMode,
+    AdversarialScenario, ByzantineMode, CrashSchedule, FaultInjector, FaultModel, InjectionTally,
+    InjectorSnapshot, OverflowMode,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -34,6 +35,10 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
+use crate::checkpoint::{
+    fnv1a, BufferState, Checkpoint, CheckpointError, FrameState, MessageState, RecordState,
+    ReportState,
+};
 use crate::config::StochasticConfig;
 use crate::events::{DropSite, EventSink, NullSink, SimEvent};
 use crate::frontier::{Inflight, TileSet};
@@ -505,11 +510,59 @@ impl SimulationBuilder {
             emptied_scratch: Vec::new(),
             receive_tape: ReceiveTape::default(),
             forward_tape: ForwardTape::default(),
+            seed: self.seed,
             round: 0,
             next_message_id: 0,
             started: false,
             completed: false,
         }
+    }
+
+    /// Builds the simulation and fast-forwards it to `checkpoint` —
+    /// the resumed run replays the remaining rounds byte-identically
+    /// (reports, digests, event streams) to the run the checkpoint was
+    /// taken from.
+    ///
+    /// The builder must be configured identically to the one the
+    /// checkpointed simulation was built with: same topology, config,
+    /// fault model, crash schedule, adversary, seed, codec, technology,
+    /// egress limits and forwarding overrides. The shard count (and the
+    /// event sink, for [`SimulationBuilder::resume_with_sink`]) may
+    /// differ freely — neither is observable. Custom IP cores are *not*
+    /// part of the checkpoint: callers that map stateful IPs must
+    /// re-map equivalently-stateful ones themselves (the golden
+    /// workloads all inject via [`Simulation::inject`] and need
+    /// nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] when the checkpoint was
+    /// taken under a different configuration, or when its internal
+    /// lengths do not fit this topology.
+    pub fn resume(self, checkpoint: &Checkpoint) -> Result<Simulation, CheckpointError> {
+        self.resume_with_sink(checkpoint, NullSink)
+    }
+
+    /// [`SimulationBuilder::resume`] with an installed [`EventSink`]:
+    /// the resumed run emits exactly the events the original run would
+    /// have emitted from the checkpoint round onward.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Mismatch`] as
+    /// [`SimulationBuilder::resume`] does.
+    pub fn resume_with_sink<S: EventSink>(
+        self,
+        checkpoint: &Checkpoint,
+        sink: S,
+    ) -> Result<Simulation<S>, CheckpointError> {
+        // Build normally first: this consumes the builder's own RNG
+        // draws (alive sampling, stream derivation) exactly as the
+        // original build did, then every sampled or drawn value is
+        // overwritten from the checkpoint.
+        let mut sim = self.build_with_sink(sink);
+        sim.restore_from(checkpoint)?;
+        Ok(sim)
     }
 }
 
@@ -597,6 +650,10 @@ pub struct Simulation<S: EventSink = NullSink> {
     receive_tape: ReceiveTape,
     /// Recycled pre-drawn forward outcomes (sharded rounds).
     forward_tape: ForwardTape,
+    /// The base seed the simulation was built with — part of the
+    /// checkpoint config digest (two runs with different seeds are
+    /// never resume-compatible).
+    seed: u64,
     round: u64,
     next_message_id: u64,
     started: bool,
@@ -798,6 +855,356 @@ impl<S: EventSink> Simulation<S> {
             history.push(self.step());
         }
         (self.finalize_report().clone(), history)
+    }
+
+    /// Runs until the engine quiesces — live frontier empty, no frames
+    /// left in the arrival delay line, every IP done — then returns the
+    /// final report. Unlike [`Simulation::run`] the configured
+    /// `max_rounds` budget is ignored: the loop steps for exactly as
+    /// long as work remains.
+    ///
+    /// With the default [`NullIp`] on every tile the TTL guarantees the
+    /// network drains, so the loop always terminates. A custom IP that
+    /// never reports done (or emits messages forever) makes this loop
+    /// run forever — that contract is the caller's to uphold.
+    pub fn run_until_idle(&mut self) -> SimulationReport {
+        while !self.completed {
+            self.step();
+        }
+        self.finalize_report().clone()
+    }
+
+    /// Digest of the simulation's defining tuple: topology shape, seed,
+    /// protocol config, fault model, (folded) crash schedule, adversary,
+    /// codec, technology point, egress limits and forwarding overrides.
+    /// Everything that determines the draw sequence and the observables
+    /// — and nothing that does not: the shard count, event sink and
+    /// observability plane are excluded, so a checkpoint taken at one
+    /// shard count resumes at any other.
+    fn config_digest_value(&self) -> u64 {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(self.topology.node_count() as u64).to_le_bytes());
+        bytes.extend_from_slice(&(self.topology.link_count() as u64).to_le_bytes());
+        bytes.extend_from_slice(&self.seed.to_le_bytes());
+        let shape = format!(
+            "{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}|{:?}",
+            self.config,
+            self.injector.model(),
+            self.crash_schedule,
+            self.adversary,
+            self.codec,
+            self.report.technology(),
+            self.egress_limits,
+            self.forward_overrides,
+        );
+        bytes.extend_from_slice(shape.as_bytes());
+        fnv1a(&bytes)
+    }
+
+    /// Captures a serializable snapshot of the full engine state at the
+    /// current round boundary.
+    ///
+    /// Valid whenever the caller holds `&self` outside
+    /// [`Simulation::step`]. The snapshot records every input to future
+    /// draws and deliveries — RNG stream positions (fault stream with
+    /// its Box–Muller spare, per-link chaos streams, per-tile Byzantine
+    /// streams), send buffers and egress cursors, clock-domain phases,
+    /// the arrival delay line, adversary replay ammunition, and the
+    /// report-so-far — so a [`SimulationBuilder::resume`]d simulation
+    /// replays the remaining rounds byte-identically. Custom IP-core
+    /// state is *not* captured (see [`Checkpoint`]).
+    pub fn checkpoint(&self) -> Checkpoint {
+        let snap = self.injector.snapshot();
+        let arena = |arena: &[Vec<Frame>]| -> Vec<Vec<FrameState>> {
+            arena
+                .iter()
+                .map(|frames| {
+                    frames
+                        .iter()
+                        .map(|f| FrameState {
+                            bytes: f.bytes.to_vec(),
+                            scrambled: f.scrambled,
+                            via: f.via.map(|l| l.index() as u64),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        Checkpoint {
+            config_digest: self.config_digest_value(),
+            round: self.round,
+            next_message_id: self.next_message_id,
+            started: self.started,
+            completed: self.completed,
+            injector_rng: snap.rng_state,
+            injector_spare: snap.gauss_spare,
+            tally_upsets: snap.tally.upsets,
+            tally_overflow_drops: snap.tally.overflow_drops,
+            tally_skew_draws: snap.tally.skew_draws,
+            chaos_states: self.chaos_streams.iter().map(StdRng::state).collect(),
+            byz_states: self
+                .byz_streams
+                .iter()
+                .map(|(&tile, rng)| (tile as u64, rng.state()))
+                .collect(),
+            byz_last_frames: self
+                .byz_last_frame
+                .iter()
+                .enumerate()
+                .filter_map(|(tile, slot)| {
+                    slot.as_ref()
+                        .map(|(id, frame)| (tile as u64, id.0, frame.to_vec()))
+                })
+                .collect(),
+            tiles_alive: self.tiles_alive.clone(),
+            links_alive: self.links_alive.clone(),
+            clocks: self.clocks.iter().map(|c| (c.skew(), c.slips())).collect(),
+            egress_next: self.egress_next.iter().map(|o| o.map(|id| id.0)).collect(),
+            buffers: self
+                .buffers
+                .iter()
+                .map(|buf| {
+                    let (messages, seen, expired) = buf.snapshot();
+                    BufferState {
+                        messages: messages
+                            .into_iter()
+                            .map(|m| MessageState {
+                                id: m.id.0,
+                                source: m.source.index() as u64,
+                                destination: m.destination.index() as u64,
+                                ttl: m.ttl,
+                                payload: m.payload.to_vec(),
+                            })
+                            .collect(),
+                        seen: seen.into_iter().map(|id| id.0).collect(),
+                        expired,
+                    }
+                })
+                .collect(),
+            inbox_next: arena(&self.inbox_next),
+            inbox_later: arena(&self.inbox_later),
+            informed: self
+                .informed
+                .iter()
+                .map(|(&id, &count)| (id.0, count as u64))
+                .collect(),
+            terminated: self.terminated.iter().map(|id| id.0).collect(),
+            report: ReportState {
+                rounds_executed: self.report.rounds_executed,
+                completed: self.report.completed,
+                packets_sent: self.report.packets_sent,
+                bits_sent: self.report.bits_sent.bits(),
+                upsets_detected: self.report.upsets_detected,
+                upsets_undetected: self.report.upsets_undetected,
+                overflow_drops: self.report.overflow_drops,
+                crash_drops: self.report.crash_drops,
+                clock_slips: self.report.clock_slips,
+                ttl_expirations: self.report.ttl_expirations,
+                partition_drops: self.report.partition_drops,
+                byzantine_forges: self.report.byzantine_forges,
+                byzantine_replays: self.report.byzantine_replays,
+                adversarial_delays: self.report.adversarial_delays,
+                adversarial_reorders: self.report.adversarial_reorders,
+                quiescent_rounds: self.report.quiescent_rounds,
+                records: self
+                    .report
+                    .records()
+                    .map(|rec| RecordState {
+                        id: rec.id.0,
+                        source: rec.source.index() as u64,
+                        destination: rec.destination.index() as u64,
+                        injected_round: rec.injected_round,
+                        delivered_round: rec.delivered_round,
+                        frame_bits: rec.frame_bits.bits(),
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Overwrites this (freshly built) simulation's state with a
+    /// checkpoint's, rebuilding the derived frontier bookkeeping
+    /// (`Inflight` counters, buffer frontier, live total) exactly from
+    /// the restored arenas and buffers. Only called from
+    /// [`SimulationBuilder::resume_with_sink`] on a simulation that has
+    /// executed zero rounds, so every scratch structure is empty.
+    fn restore_from(&mut self, ck: &Checkpoint) -> Result<(), CheckpointError> {
+        if ck.config_digest != self.config_digest_value() {
+            return Err(CheckpointError::Mismatch(
+                "configuration digest differs (topology, config, fault model, \
+                 crash schedule, adversary, seed, codec, technology, egress \
+                 limits or forwarding overrides changed)",
+            ));
+        }
+        let n = self.topology.node_count();
+        let m = self.topology.link_count();
+        if ck.tiles_alive.len() != n {
+            return Err(CheckpointError::Mismatch("tile liveness length"));
+        }
+        if ck.links_alive.len() != m {
+            return Err(CheckpointError::Mismatch("link liveness length"));
+        }
+        if ck.clocks.len() != n
+            || ck.egress_next.len() != n
+            || ck.buffers.len() != n
+            || ck.inbox_next.len() != n
+            || ck.inbox_later.len() != n
+        {
+            return Err(CheckpointError::Mismatch("per-tile state length"));
+        }
+        if ck.chaos_states.len() != self.chaos_streams.len() {
+            return Err(CheckpointError::Mismatch("chaos stream count"));
+        }
+        if ck.byz_states.len() != self.byz_streams.len()
+            || !ck
+                .byz_states
+                .iter()
+                .all(|&(tile, _)| self.byz_streams.contains_key(&(tile as usize)))
+        {
+            return Err(CheckpointError::Mismatch("byzantine tile set"));
+        }
+        if ck
+            .byz_last_frames
+            .iter()
+            .any(|&(tile, _, _)| tile as usize >= n)
+        {
+            return Err(CheckpointError::Mismatch("byzantine replay tile index"));
+        }
+
+        self.round = ck.round;
+        self.next_message_id = ck.next_message_id;
+        self.started = ck.started;
+        self.completed = ck.completed;
+        self.injector.restore(&InjectorSnapshot {
+            rng_state: ck.injector_rng,
+            gauss_spare: ck.injector_spare,
+            tally: InjectionTally {
+                upsets: ck.tally_upsets,
+                overflow_drops: ck.tally_overflow_drops,
+                skew_draws: ck.tally_skew_draws,
+            },
+        });
+        for (stream, &state) in self.chaos_streams.iter_mut().zip(&ck.chaos_states) {
+            *stream = StdRng::from_state(state);
+        }
+        for &(tile, state) in &ck.byz_states {
+            if let Some(stream) = self.byz_streams.get_mut(&(tile as usize)) {
+                *stream = StdRng::from_state(state);
+            }
+        }
+        self.byz_last_frame = vec![None; n];
+        for (tile, id, frame) in &ck.byz_last_frames {
+            self.byz_last_frame[*tile as usize] =
+                Some((MessageId(*id), Arc::from(frame.as_slice())));
+        }
+        self.tiles_alive = ck.tiles_alive.clone();
+        self.links_alive = ck.links_alive.clone();
+        self.clocks = ck
+            .clocks
+            .iter()
+            .map(|&(skew, slips)| ClockDomain::from_parts(skew, slips))
+            .collect();
+        self.egress_next = ck.egress_next.iter().map(|o| o.map(MessageId)).collect();
+        self.buffers = ck
+            .buffers
+            .iter()
+            .map(|buf| {
+                SendBuffer::from_parts(
+                    buf.messages
+                        .iter()
+                        .map(|msg| {
+                            Message::new(
+                                MessageId(msg.id),
+                                NodeId(msg.source as usize),
+                                NodeId(msg.destination as usize),
+                                msg.ttl,
+                                msg.payload.clone(),
+                            )
+                        })
+                        .collect(),
+                    buf.seen.iter().map(|&id| MessageId(id)).collect(),
+                    buf.expired,
+                )
+            })
+            .collect();
+        let arena = |arena: &[Vec<FrameState>]| -> Vec<Vec<Frame>> {
+            arena
+                .iter()
+                .map(|frames| {
+                    frames
+                        .iter()
+                        .map(|f| Frame {
+                            bytes: Arc::from(f.bytes.as_slice()),
+                            scrambled: f.scrambled,
+                            via: f.via.map(|l| LinkId(l as usize)),
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        self.inbox_next = arena(&ck.inbox_next);
+        self.inbox_later = arena(&ck.inbox_later);
+        self.informed = ck
+            .informed
+            .iter()
+            .map(|&(id, count)| (MessageId(id), count as usize))
+            .collect();
+        self.terminated = ck.terminated.iter().map(|&id| MessageId(id)).collect();
+        let tech = *self.report.technology();
+        let mut report = SimulationReport::new(tech);
+        report.rounds_executed = ck.report.rounds_executed;
+        report.completed = ck.report.completed;
+        report.packets_sent = ck.report.packets_sent;
+        report.bits_sent = Bits(ck.report.bits_sent);
+        report.upsets_detected = ck.report.upsets_detected;
+        report.upsets_undetected = ck.report.upsets_undetected;
+        report.overflow_drops = ck.report.overflow_drops;
+        report.crash_drops = ck.report.crash_drops;
+        report.clock_slips = ck.report.clock_slips;
+        report.ttl_expirations = ck.report.ttl_expirations;
+        report.partition_drops = ck.report.partition_drops;
+        report.byzantine_forges = ck.report.byzantine_forges;
+        report.byzantine_replays = ck.report.byzantine_replays;
+        report.adversarial_delays = ck.report.adversarial_delays;
+        report.adversarial_reorders = ck.report.adversarial_reorders;
+        report.quiescent_rounds = ck.report.quiescent_rounds;
+        for rec in &ck.report.records {
+            report.record_injection(MessageRecord {
+                id: MessageId(rec.id),
+                source: NodeId(rec.source as usize),
+                destination: NodeId(rec.destination as usize),
+                injected_round: rec.injected_round,
+                delivered_round: rec.delivered_round,
+                frame_bits: Bits(rec.frame_bits),
+            });
+        }
+        self.report = report;
+
+        // Derived bookkeeping is rebuilt, never serialized: the
+        // Inflight counters and frontier sets are exact functions of
+        // the restored arenas and buffers.
+        self.inflight = Inflight::new(n);
+        for (tile, frames) in self.inbox_next.iter().enumerate() {
+            if !frames.is_empty() {
+                self.inflight.next.tiles.insert(tile);
+                self.inflight.next.frames += frames.len() as u64;
+            }
+        }
+        for (tile, frames) in self.inbox_later.iter().enumerate() {
+            if !frames.is_empty() {
+                self.inflight.later.tiles.insert(tile);
+                self.inflight.later.frames += frames.len() as u64;
+            }
+        }
+        self.buffer_frontier = TileSet::new(n);
+        self.live_total = 0;
+        for (tile, buf) in self.buffers.iter().enumerate() {
+            if !buf.is_empty() {
+                self.buffer_frontier.insert(tile);
+                self.live_total += buf.len() as u64;
+            }
+        }
+        Ok(())
     }
 
     /// Executes one gossip round.

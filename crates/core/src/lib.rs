@@ -22,6 +22,9 @@
 //! * [`SendBuffer`] — the per-tile deduplicating output buffer;
 //! * [`SimulationReport`] — latency, packet-count, energy and
 //!   fault-tolerance metrics;
+//! * [`Checkpoint`] — serializable round-boundary snapshots;
+//!   [`SimulationBuilder::resume`] continues an interrupted run
+//!   byte-identically;
 //! * [`spread`] — the epidemic-spreading theory of §3.1 (Equation 1) and
 //!   the 1000-node rumor experiment of Figure 3-1.
 //!
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
 mod config;
 mod engine;
 pub mod events;
@@ -62,6 +66,7 @@ pub mod spread;
 mod trace;
 pub mod tuning;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{InvalidConfig, StochasticConfig};
 pub use engine::{RoundStats, Simulation, SimulationBuilder};
 pub use events::{CounterSink, DropSite, EventSink, JsonlSink, NullSink, SimEvent, TeeSink};

@@ -1,0 +1,498 @@
+//! Checkpoint/resume determinism: resuming from a checkpoint must be
+//! provably indistinguishable from never having stopped.
+//!
+//! For each of the twelve golden/adversarial workloads, the suite
+//! checkpoints at *every* round boundary of a straight-through run,
+//! resumes each checkpoint at shard counts 1, 2 and 8, and byte-compares
+//! the final report digest (and, per checkpoint round, the concatenated
+//! JSONL event stream) against the uninterrupted run. A property test
+//! sweeps random checkpoint rounds × shard counts on top.
+
+use noc_fabric::{NodeId, Topology};
+use noc_faults::{
+    AdversarialScenario, ByzantineMode, CrashSchedule, ErrorModel, FaultModel, OverflowMode,
+};
+use proptest::prelude::*;
+use stochastic_noc::events::JsonlSink;
+use stochastic_noc::{
+    Checkpoint, CheckpointError, Simulation, SimulationBuilder, SimulationReport, StochasticConfig,
+};
+
+/// Serializes every observable report field — the golden digest format
+/// plus the adversarial and quiescence counters — into a stable string.
+fn digest(report: &SimulationReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "rounds={} completed={} packets={} bits={} upd={} upu={} ovf={} crash={} slips={} ttlx={}\n",
+        report.rounds_executed,
+        report.completed,
+        report.packets_sent,
+        report.bits_sent.bits(),
+        report.upsets_detected,
+        report.upsets_undetected,
+        report.overflow_drops,
+        report.crash_drops,
+        report.clock_slips,
+        report.ttl_expirations,
+    ));
+    out.push_str(&format!(
+        "part={} byzf={} byzr={} adel={} areo={} quies={}\n",
+        report.partition_drops,
+        report.byzantine_forges,
+        report.byzantine_replays,
+        report.adversarial_delays,
+        report.adversarial_reorders,
+        report.quiescent_rounds,
+    ));
+    for r in report.records() {
+        out.push_str(&format!(
+            "{}:{}->{} inj={} del={:?} bits={}\n",
+            r.id,
+            r.source,
+            r.destination,
+            r.injected_round,
+            r.delivered_round,
+            r.frame_bits.bits(),
+        ));
+    }
+    out
+}
+
+type BuilderFn = Box<dyn Fn() -> SimulationBuilder>;
+
+struct Workload {
+    name: &'static str,
+    builder: BuilderFn,
+    injections: Vec<(usize, usize, &'static [u8])>,
+}
+
+/// The six golden workloads of `golden_report.rs`, as fresh-builder
+/// factories (a `SimulationBuilder` is consumed by `build`, and every
+/// resume needs an identically configured builder of its own).
+fn golden_workloads() -> Vec<Workload> {
+    vec![
+        Workload {
+            name: "grid4_flooding_fault_free",
+            builder: Box::new(|| {
+                SimulationBuilder::new(Topology::grid(4, 4))
+                    .config(StochasticConfig::flooding(12).with_max_rounds(40))
+                    .seed(1)
+            }),
+            injections: vec![(5, 11, b"figure 3-3")],
+        },
+        Workload {
+            name: "grid8_gossip_under_faults",
+            builder: Box::new(|| {
+                let model = FaultModel::builder()
+                    .p_upset(0.2)
+                    .p_overflow(0.1)
+                    .sigma_synch(0.3)
+                    .error_model(ErrorModel::RandomErrorVector)
+                    .build()
+                    .unwrap();
+                SimulationBuilder::new(Topology::grid(8, 8))
+                    .forward_probability(0.5)
+                    .ttl(20)
+                    .max_rounds(100)
+                    .fault_model(model)
+                    .seed(42)
+            }),
+            injections: vec![(0, 63, b"corner to corner"), (9, 54, b"x")],
+        },
+        Workload {
+            name: "grid16_flooding_with_defects",
+            builder: Box::new(|| {
+                let model = FaultModel::builder()
+                    .p_upset(0.1)
+                    .p_tiles(0.05)
+                    .p_links(0.05)
+                    .error_model(ErrorModel::RandomBitError)
+                    .build()
+                    .unwrap();
+                SimulationBuilder::new(Topology::grid(16, 16))
+                    .config(StochasticConfig::flooding(24).with_max_rounds(60))
+                    .fault_model(model)
+                    .seed(7)
+            }),
+            injections: vec![(0, 255, b"big grid")],
+        },
+        Workload {
+            name: "torus_structural_overflow",
+            builder: Box::new(|| {
+                let model = FaultModel::builder()
+                    .sigma_synch(0.2)
+                    .overflow_mode(OverflowMode::Structural { capacity: 4 })
+                    .build()
+                    .unwrap();
+                SimulationBuilder::new(Topology::torus(6, 6))
+                    .forward_probability(0.35)
+                    .ttl(18)
+                    .max_rounds(80)
+                    .fault_model(model)
+                    .seed(9)
+            }),
+            injections: vec![(0, 21, b"a"), (17, 4, b"bb"), (30, 8, b"ccc")],
+        },
+        Workload {
+            name: "fully_connected_with_termination",
+            builder: Box::new(|| {
+                SimulationBuilder::new(Topology::fully_connected(16))
+                    .config(
+                        StochasticConfig::flooding(6)
+                            .with_max_rounds(30)
+                            .with_termination(true),
+                    )
+                    .seed(11)
+            }),
+            injections: vec![(2, 13, b"bus-like")],
+        },
+        Workload {
+            name: "grid6_with_crash_schedule",
+            builder: Box::new(|| {
+                let mut crash = CrashSchedule::new();
+                crash.kill_tile(7, 0).kill_tile(14, 5).kill_link(3, 8);
+                let model = FaultModel::builder().p_upset(0.05).build().unwrap();
+                SimulationBuilder::new(Topology::grid(6, 6))
+                    .forward_probability(0.6)
+                    .ttl(15)
+                    .max_rounds(60)
+                    .fault_model(model)
+                    .crash_schedule(crash)
+                    .seed(5)
+            }),
+            injections: vec![(1, 34, b"survivor"), (35, 0, b"reverse")],
+        },
+    ]
+}
+
+/// The moderately faulty gossip base the hostile scenarios build on
+/// (mirrors `golden_adversarial.rs`).
+fn grid6_base() -> SimulationBuilder {
+    let model = FaultModel::builder()
+        .p_upset(0.05)
+        .sigma_synch(0.2)
+        .error_model(ErrorModel::RandomErrorVector)
+        .build()
+        .unwrap();
+    SimulationBuilder::new(Topology::grid(6, 6))
+        .forward_probability(0.6)
+        .ttl(15)
+        .max_rounds(60)
+        .fault_model(model)
+        .seed(13)
+}
+
+/// The six adversarial workloads of `golden_adversarial.rs`.
+fn adversarial_workloads() -> Vec<Workload> {
+    fn scenario(name: &str) -> AdversarialScenario {
+        match name {
+            "partition_with_heal" => AdversarialScenario::builder()
+                .cut_links([24, 25, 26, 27], 3, Some(9))
+                .build()
+                .unwrap(),
+            "permanent_death" => AdversarialScenario::builder()
+                .kill_tile(14, 2)
+                .kill_tile(21, 6)
+                .kill_link(40, 0)
+                .build()
+                .unwrap(),
+            "chaos_jitter" => AdversarialScenario::builder()
+                .delay_probability(0.15)
+                .reorder_probability(0.2)
+                .build()
+                .unwrap(),
+            "byzantine_forge" => AdversarialScenario::builder()
+                .byzantine_tile(7)
+                .byzantine_tile(28)
+                .byzantine_mode(ByzantineMode::Forge)
+                .byzantine_activation(0.5)
+                .build()
+                .unwrap(),
+            "byzantine_replay" => AdversarialScenario::builder()
+                .byzantine_tile(7)
+                .byzantine_tile(28)
+                .byzantine_mode(ByzantineMode::Replay)
+                .byzantine_activation(0.5)
+                .byzantine_until(Some(20))
+                .build()
+                .unwrap(),
+            "combined_hostile" => AdversarialScenario::builder()
+                .cut_links([10, 11], 2, Some(7))
+                .kill_tile(20, 4)
+                .delay_probability(0.1)
+                .reorder_probability(0.1)
+                .byzantine_tile(13)
+                .byzantine_mode(ByzantineMode::Forge)
+                .byzantine_activation(0.4)
+                .build()
+                .unwrap(),
+            other => panic!("unknown scenario {other}"),
+        }
+    }
+    [
+        "partition_with_heal",
+        "permanent_death",
+        "chaos_jitter",
+        "byzantine_forge",
+        "byzantine_replay",
+        "combined_hostile",
+    ]
+    .into_iter()
+    .map(|name| Workload {
+        name,
+        builder: Box::new(move || grid6_base().adversary(scenario(name))),
+        injections: vec![(0, 35, b"hostile column"), (30, 5, b"cross")],
+    })
+    .collect()
+}
+
+/// All twelve workloads.
+fn workloads() -> Vec<Workload> {
+    let mut all = golden_workloads();
+    all.extend(adversarial_workloads());
+    all
+}
+
+fn inject_all(sim: &mut Simulation<impl stochastic_noc::EventSink>, w: &Workload) {
+    for &(src, dst, payload) in &w.injections {
+        sim.inject(NodeId(src), NodeId(dst), payload.to_vec());
+    }
+}
+
+/// Runs the workload straight through (sequentially), checkpointing at
+/// every round boundary — including round 0 (post-injection) and the
+/// final round. Returns the checkpoints and the final report digest.
+fn checkpoints_and_digest(w: &Workload) -> (Vec<Checkpoint>, String) {
+    let mut sim = (w.builder)().build();
+    inject_all(&mut sim, w);
+    let mut checkpoints = vec![sim.checkpoint()];
+    while !sim.is_complete() && sim.round() < sim.config().max_rounds {
+        sim.step();
+        checkpoints.push(sim.checkpoint());
+    }
+    (checkpoints, digest(&sim.run()))
+}
+
+/// The tentpole guarantee: for every workload, every checkpoint round,
+/// and shard counts 1/2/8, the resumed run's report digest is
+/// byte-identical to the uninterrupted run's — and the checkpoint
+/// itself survives serialization and re-capture bit-exactly.
+#[test]
+fn every_checkpoint_round_resumes_byte_identically() {
+    for w in workloads() {
+        let (checkpoints, want) = checkpoints_and_digest(&w);
+        for (round, ck) in checkpoints.iter().enumerate() {
+            let bytes = ck.to_bytes();
+            let decoded = Checkpoint::from_bytes(&bytes)
+                .unwrap_or_else(|e| panic!("{}: decode at round {round}: {e}", w.name));
+            for shards in [1usize, 2, 8] {
+                let mut resumed = (w.builder)()
+                    .shards(shards)
+                    .resume(&decoded)
+                    .unwrap_or_else(|e| panic!("{}: resume at round {round}: {e}", w.name));
+                if shards == 1 {
+                    // Restore fidelity: re-capturing immediately must
+                    // reproduce the serialized checkpoint bit-exactly.
+                    assert_eq!(
+                        resumed.checkpoint().to_bytes(),
+                        bytes,
+                        "{}: re-capture at round {round} drifted",
+                        w.name
+                    );
+                }
+                assert_eq!(
+                    digest(&resumed.run()),
+                    want,
+                    "{}: resume at round {round} shards {shards} diverged",
+                    w.name
+                );
+            }
+        }
+    }
+}
+
+/// The event-stream half of the guarantee: the JSONL bytes emitted
+/// before the checkpoint plus the bytes emitted by the resumed run are
+/// exactly the straight-through run's bytes, at every checkpoint round.
+#[test]
+fn jsonl_event_streams_concatenate_byte_identically() {
+    for w in workloads() {
+        let mut sim = (w.builder)().build_with_sink(JsonlSink::new(Vec::new()));
+        inject_all(&mut sim, &w);
+        sim.run();
+        let straight = sim.into_sink().into_inner();
+        let (checkpoints, _) = checkpoints_and_digest(&w);
+        for round in 0..checkpoints.len() as u64 {
+            let mut prefix_sim = (w.builder)().build_with_sink(JsonlSink::new(Vec::new()));
+            inject_all(&mut prefix_sim, &w);
+            while prefix_sim.round() < round {
+                prefix_sim.step();
+            }
+            let ck = prefix_sim.checkpoint();
+            let mut stream = prefix_sim.into_sink().into_inner();
+            let mut resumed = (w.builder)()
+                .resume_with_sink(&ck, JsonlSink::new(Vec::new()))
+                .unwrap();
+            resumed.run();
+            stream.extend_from_slice(&resumed.into_sink().into_inner());
+            assert_eq!(
+                stream, straight,
+                "{}: JSONL stream split at round {round} is not byte-identical",
+                w.name
+            );
+        }
+    }
+}
+
+/// `run_until_idle` must agree with `run()` on every workload: all
+/// twelve quiesce within their round budget, so ignoring the budget
+/// changes nothing — same digest, same round count.
+#[test]
+fn run_until_idle_agrees_with_run_on_every_workload() {
+    for w in workloads() {
+        let mut budgeted = (w.builder)().build();
+        inject_all(&mut budgeted, &w);
+        let budgeted = budgeted.run();
+        let mut idle = (w.builder)().build();
+        inject_all(&mut idle, &w);
+        let idle = idle.run_until_idle();
+        assert_eq!(
+            digest(&idle),
+            digest(&budgeted),
+            "{}: run_until_idle diverged from run()",
+            w.name
+        );
+        assert_eq!(idle.rounds_executed, budgeted.rounds_executed, "{}", w.name);
+        assert_eq!(
+            idle.quiescent_rounds, budgeted.quiescent_rounds,
+            "{}",
+            w.name
+        );
+        assert!(
+            idle.completed,
+            "{}: run_until_idle must reach quiescence",
+            w.name
+        );
+    }
+}
+
+/// `run_until_idle` after a mid-run resume also matches the straight
+/// run — the quiescence condition is restored, not recomputed wrongly.
+#[test]
+fn run_until_idle_after_resume_matches() {
+    let w = &workloads()[1]; // grid8_gossip_under_faults: the richest
+    let (checkpoints, want) = checkpoints_and_digest(w);
+    let mid = &checkpoints[checkpoints.len() / 2];
+    let mut resumed = (w.builder)().resume(mid).unwrap();
+    assert_eq!(digest(&resumed.run_until_idle()), want);
+}
+
+/// Save/load file round-trip: a checkpoint written to disk resumes
+/// identically to the in-memory one.
+#[test]
+fn checkpoint_file_round_trip_resumes_identically() {
+    let w = &workloads()[3]; // torus_structural_overflow
+    let (checkpoints, want) = checkpoints_and_digest(w);
+    let ck = &checkpoints[checkpoints.len() / 2];
+    let path = std::env::temp_dir().join(format!(
+        "noc-checkpoint-roundtrip-{}.ckpt",
+        std::process::id()
+    ));
+    ck.save(&path).unwrap();
+    let loaded = Checkpoint::load(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(&loaded, ck);
+    let mut resumed = (w.builder)().resume(&loaded).unwrap();
+    assert_eq!(digest(&resumed.run()), want);
+}
+
+/// Resume refuses a builder whose configuration differs from the one
+/// the checkpoint was taken under.
+#[test]
+fn resume_rejects_mismatched_configuration() {
+    let w = &workloads()[5]; // grid6_with_crash_schedule
+    let (checkpoints, _) = checkpoints_and_digest(w);
+    let ck = &checkpoints[1];
+    let wrong_seed = (w.builder)().seed(999).resume(ck);
+    assert!(
+        matches!(wrong_seed, Err(CheckpointError::Mismatch(_))),
+        "a different seed must be rejected, got {:?}",
+        wrong_seed.as_ref().err()
+    );
+    let wrong_topology = SimulationBuilder::new(Topology::grid(5, 5))
+        .forward_probability(0.6)
+        .seed(5)
+        .resume(ck);
+    assert!(
+        matches!(wrong_topology, Err(CheckpointError::Mismatch(_))),
+        "a different topology must be rejected"
+    );
+}
+
+/// Resuming a checkpoint taken at one shard count under another is
+/// explicitly supported: the capture-side shard count is invisible.
+#[test]
+fn checkpoints_taken_sharded_resume_sequentially_and_back() {
+    let w = &workloads()[1]; // grid8_gossip_under_faults
+    let (_, want) = checkpoints_and_digest(w);
+    let mut sharded = (w.builder)().shards(4).build();
+    inject_all(&mut sharded, w);
+    for _ in 0..6 {
+        sharded.step();
+    }
+    let ck = sharded.checkpoint();
+    let mut sequential = (w.builder)().shards(1).resume(&ck).unwrap();
+    assert_eq!(
+        digest(&sequential.run()),
+        want,
+        "sharded capture → sequential resume"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random checkpoint rounds × shard counts on a randomized faulty
+    /// grid: resumption is byte-identical wherever you cut.
+    #[test]
+    fn random_checkpoint_rounds_resume_identically(
+        seed in 0u64..1_000,
+        p in 0.3f64..0.9,
+        ttl in 6u8..14,
+        checkpoint_round in 0u64..20,
+        shards in 1usize..9,
+    ) {
+        let model = FaultModel::builder()
+            .p_upset(0.1)
+            .sigma_synch(0.15)
+            .build()
+            .unwrap();
+        let make = || {
+            SimulationBuilder::new(Topology::grid(4, 4))
+                .forward_probability(p)
+                .ttl(ttl)
+                .max_rounds(30)
+                .fault_model(model)
+                .seed(seed)
+        };
+        let inject = |sim: &mut Simulation| {
+            sim.inject(NodeId(0), NodeId(15), b"prop".to_vec());
+            sim.inject(NodeId(12), NodeId(3), b"q".to_vec());
+        };
+        let mut straight = make().build();
+        inject(&mut straight);
+        let want = digest(&straight.run());
+
+        let mut sim = make().build();
+        inject(&mut sim);
+        while sim.round() < checkpoint_round
+            && !sim.is_complete()
+            && sim.round() < sim.config().max_rounds
+        {
+            sim.step();
+        }
+        let ck = Checkpoint::from_bytes(&sim.checkpoint().to_bytes()).unwrap();
+        let mut resumed = make().shards(shards).resume(&ck).unwrap();
+        prop_assert_eq!(digest(&resumed.run()), want);
+    }
+}

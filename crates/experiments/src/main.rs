@@ -21,6 +21,14 @@
 //! metrics snapshot (engine-phase spans, per-trial timings, throughput)
 //! is written to PATH as JSON and to PATH.prom as Prometheus text when
 //! all figures finish. Tables and digests are byte-identical either way.
+//! `--checkpoint-every N` (with optional `--checkpoint-dir PATH`,
+//! default `.`) writes a resumable engine checkpoint every N rounds of
+//! each mega-grid simulation, as
+//! `<dir>/mega-grid-<side>-<regime>-round-<R>.ckpt`.
+//! `--resume PATH` restores the mega-grid simulation whose
+//! configuration digest matches the checkpoint at PATH and continues it
+//! from the captured round; non-matching configurations rerun from
+//! round 0, and the tables are byte-identical either way.
 //! `--progress` emits throttled JSONL heartbeats on stderr while sweeps
 //! run (trials done/total, trials/sec, ETA).
 
@@ -150,6 +158,11 @@ fn main() {
     }
     runner::set_trace_path(parse_string_flag(&args, "--trace-events"));
     runner::set_reconcile_json_path(parse_string_flag(&args, "--reconcile-json"));
+    if let Some(every) = parse_flag(&args, "--checkpoint-every") {
+        runner::set_checkpoint_every(every);
+    }
+    runner::set_checkpoint_dir(parse_string_flag(&args, "--checkpoint-dir"));
+    runner::set_resume_path(parse_string_flag(&args, "--resume"));
     let metrics_out = parse_string_flag(&args, "--metrics-out");
     let metrics = metrics_out.as_ref().map(|_| {
         let metrics = std::sync::Arc::new(noc_obs::Metrics::new());
@@ -171,6 +184,9 @@ fn main() {
                 || *a == "--trace-events"
                 || *a == "--reconcile-json"
                 || *a == "--metrics-out"
+                || *a == "--checkpoint-every"
+                || *a == "--checkpoint-dir"
+                || *a == "--resume"
             {
                 skip_next = true;
                 return false;
@@ -182,7 +198,7 @@ fn main() {
 
     if targets.is_empty() || targets == ["help"] {
         eprintln!(
-            "usage: experiments <figure>|all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH] [--metrics-out PATH] [--progress]"
+            "usage: experiments <figure>|all [--full] [--threads N] [--shards N] [--seed N] [--trace-events PATH] [--reconcile-json PATH] [--metrics-out PATH] [--checkpoint-every N] [--checkpoint-dir PATH] [--resume PATH] [--progress]"
         );
         eprintln!("figures: {}", FIGURES.join(", "));
         std::process::exit(if targets.is_empty() { 2 } else { 0 });

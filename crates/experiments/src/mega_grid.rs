@@ -10,9 +10,11 @@
 //! wall-clock observability goes to the runner summary on stderr and,
 //! under `--metrics-out`, to per-phase engine span histograms.
 
-use noc_fabric::{NodeId, Topology};
+use noc_fabric::{MessageId, NodeId, Topology};
 use noc_faults::FaultModel;
-use stochastic_noc::{SimulationBuilder, StochasticConfig};
+use stochastic_noc::{
+    Checkpoint, Simulation, SimulationBuilder, SimulationReport, StochasticConfig,
+};
 
 use crate::{runner, Scale, TrialRunner};
 
@@ -45,8 +47,7 @@ fn faulty_model() -> FaultModel {
         .expect("valid model")
 }
 
-fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> MegaGridRow {
-    let n = side * side;
+fn make_builder(side: usize, regime: &'static str, seed: u64) -> SimulationBuilder {
     // Enough TTL to cross the grid diagonal with margin, capped at u8.
     let ttl = u8::try_from((2 * (side - 1) + side / 2).min(250)).expect("capped");
     let model = match regime {
@@ -66,17 +67,92 @@ fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> Meg
     if let Some(obs) = runner::engine_obs() {
         builder = builder.obs(obs);
     }
-    let mut sim = builder.build();
-    // Broadcast burst: sources striped across the fabric, each targeting
-    // the diagonally opposite tile, so traffic crosses every shard
-    // boundary in both directions.
-    let ids: Vec<_> = (0..messages)
-        .map(|i| {
-            let src = (i * n) / messages;
-            sim.inject(NodeId(src), NodeId(n - 1 - src), vec![0x5A; 8])
-        })
-        .collect();
-    let report = sim.run_to_report();
+    builder
+}
+
+/// Restores the simulation for this configuration from `--resume PATH`
+/// when the checkpoint's configuration digest matches; `None` means
+/// "start fresh" (no resume requested, unreadable file, or a checkpoint
+/// belonging to one of the *other* mega-grid configurations).
+fn try_resume(side: usize, regime: &'static str, seed: u64) -> Option<Simulation> {
+    let path = runner::resume_path()?;
+    let checkpoint = match Checkpoint::load(&path) {
+        Ok(ck) => ck,
+        Err(err) => {
+            eprintln!("mega-grid: cannot read checkpoint {path}: {err}");
+            return None;
+        }
+    };
+    match make_builder(side, regime, seed).resume(&checkpoint) {
+        Ok(sim) => {
+            eprintln!(
+                "{{\"event\":\"resumed\",\"figure\":\"mega-grid-{side}-{regime}\",\"round\":{}}}",
+                sim.round(),
+            );
+            Some(sim)
+        }
+        // Digest mismatch: the checkpoint is for a different
+        // side/regime/seed. That configuration will pick it up; this
+        // one reruns from round 0 (its table row is deterministic
+        // either way).
+        Err(_) => None,
+    }
+}
+
+/// Steps `sim` to completion, writing a checkpoint into
+/// `--checkpoint-dir` every `every` rounds.
+fn run_with_checkpoints(mut sim: Simulation, label: &str, every: u64) -> SimulationReport {
+    let dir = runner::checkpoint_dir().unwrap_or_else(|| ".".to_string());
+    let max_rounds = sim.config().max_rounds;
+    while !sim.is_complete() && sim.round() < max_rounds {
+        sim.step();
+        if every > 0 && sim.round() % every == 0 {
+            let path = format!("{dir}/{label}-round-{:06}.ckpt", sim.round());
+            match sim.checkpoint().save(&path) {
+                Ok(()) => eprintln!(
+                    "{{\"event\":\"checkpoint\",\"figure\":\"{label}\",\"round\":{},\"path\":\"{path}\"}}",
+                    sim.round(),
+                ),
+                Err(err) => eprintln!("mega-grid: cannot write checkpoint {path}: {err}"),
+            }
+        }
+    }
+    // The loop above is `Simulation::run`'s own termination condition,
+    // so this only finalizes and clones the report.
+    sim.run()
+}
+
+fn run_one(side: usize, regime: &'static str, messages: usize, seed: u64) -> MegaGridRow {
+    let n = side * side;
+    let (sim, ids) = match try_resume(side, regime, seed) {
+        // Injections happened before the checkpoint was taken, so the
+        // restored report already tracks them; ids are deterministic
+        // (sequential from 0 in injection order).
+        Some(sim) => {
+            let ids: Vec<_> = (0..messages).map(|i| MessageId(i as u64)).collect();
+            (sim, ids)
+        }
+        None => {
+            let mut sim = make_builder(side, regime, seed).build();
+            // Broadcast burst: sources striped across the fabric, each
+            // targeting the diagonally opposite tile, so traffic crosses
+            // every shard boundary in both directions.
+            let ids: Vec<_> = (0..messages)
+                .map(|i| {
+                    let src = (i * n) / messages;
+                    sim.inject(NodeId(src), NodeId(n - 1 - src), vec![0x5A; 8])
+                })
+                .collect();
+            (sim, ids)
+        }
+    };
+    let report = match runner::checkpoint_every() {
+        Some(every) => {
+            let label = format!("mega-grid-{side}-{regime}");
+            run_with_checkpoints(sim, &label, every)
+        }
+        None => sim.run_to_report(),
+    };
     MegaGridRow {
         side,
         regime,
@@ -203,6 +279,39 @@ mod tests {
             "every round counted: {rounds:?} vs {}",
             baseline.rounds
         );
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_the_identical_row() {
+        let _guard = runner::GLOBAL_STATE_TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let baseline = run_one(32, "faulty", 4, 7);
+        let dir = std::env::temp_dir().join(format!("mega-grid-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create checkpoint dir");
+
+        // A run with checkpointing on produces the same row...
+        runner::set_checkpoint_every(5);
+        runner::set_checkpoint_dir(Some(dir.to_string_lossy().into_owned()));
+        let checkpointed = run_one(32, "faulty", 4, 7);
+        runner::set_checkpoint_every(0);
+        runner::set_checkpoint_dir(None);
+        assert_eq!(format!("{checkpointed:?}"), format!("{baseline:?}"));
+
+        // ...and resuming from a mid-run checkpoint reaches it too.
+        let ckpt = dir.join("mega-grid-32-faulty-round-000005.ckpt");
+        assert!(ckpt.exists(), "round-5 checkpoint written");
+        runner::set_resume_path(Some(ckpt.to_string_lossy().into_owned()));
+        let resumed = run_one(32, "faulty", 4, 7);
+        // A non-matching configuration ignores the checkpoint and runs
+        // fresh instead of panicking or corrupting its row.
+        let other = run_one(32, "fault-free", 4, 7);
+        runner::set_resume_path(None);
+        let other_baseline = run_one(32, "fault-free", 4, 7);
+        assert_eq!(format!("{resumed:?}"), format!("{baseline:?}"));
+        assert_eq!(format!("{other:?}"), format!("{other_baseline:?}"));
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -144,6 +144,54 @@ pub fn reconcile_json_path() -> Option<String> {
         .clone()
 }
 
+/// Process-wide checkpoint cadence in rounds (`--checkpoint-every N`);
+/// 0 means checkpointing is off, which is the default.
+static CHECKPOINT_EVERY: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide checkpoint destination directory (`--checkpoint-dir
+/// PATH`); `None` falls back to the current directory.
+static CHECKPOINT_DIR: Mutex<Option<String>> = Mutex::new(None);
+
+/// Process-wide resume source (`--resume PATH`); when set, figures
+/// that support checkpointing restore the matching simulation from the
+/// file instead of starting it from round 0.
+static RESUME_PATH: Mutex<Option<String>> = Mutex::new(None);
+
+/// Sets the checkpoint cadence (`--checkpoint-every N`). `0` turns
+/// checkpointing off.
+pub fn set_checkpoint_every(rounds: u64) {
+    CHECKPOINT_EVERY.store(rounds, Ordering::Relaxed);
+}
+
+/// The checkpoint cadence in rounds; `None` when checkpointing is off.
+pub fn checkpoint_every() -> Option<u64> {
+    match CHECKPOINT_EVERY.load(Ordering::Relaxed) {
+        0 => None,
+        n => Some(n),
+    }
+}
+
+/// Sets (or, with `None`, clears) the checkpoint destination directory.
+pub fn set_checkpoint_dir(path: Option<String>) {
+    *CHECKPOINT_DIR.lock().expect("checkpoint dir lock") = path;
+}
+
+/// The checkpoint destination directory installed by
+/// `--checkpoint-dir`, if any.
+pub fn checkpoint_dir() -> Option<String> {
+    CHECKPOINT_DIR.lock().expect("checkpoint dir lock").clone()
+}
+
+/// Sets (or, with `None`, clears) the resume source path.
+pub fn set_resume_path(path: Option<String>) {
+    *RESUME_PATH.lock().expect("resume path lock") = path;
+}
+
+/// The resume source installed by `--resume`, if any.
+pub fn resume_path() -> Option<String> {
+    RESUME_PATH.lock().expect("resume path lock").clone()
+}
+
 /// Sets the process-wide default worker count (`--threads N`).
 ///
 /// `0` restores auto-detection. Runs already in flight are unaffected.
@@ -304,11 +352,25 @@ impl Heartbeat {
             escape_label(&self.label),
             completed,
             self.total,
-            elapsed,
-            trials_per_sec,
-            eta_secs,
-            rounds_per_sec,
+            finite_or_zero(elapsed),
+            finite_or_zero(trials_per_sec),
+            finite_or_zero(eta_secs),
+            finite_or_zero(rounds_per_sec),
         );
+    }
+}
+
+/// Clamps a rate/duration to 0.0 unless it is finite. Rust formats
+/// non-finite floats as `inf`/`NaN`, which is **not JSON** — one
+/// degenerate heartbeat (zero-duration sweep, clock anomaly) would
+/// poison the whole `--progress` stream for downstream parsers. The CI
+/// JSONL validator rejects non-finite values, so this clamp is what
+/// keeps heartbeats machine-readable by construction.
+fn finite_or_zero(value: f64) -> f64 {
+    if value.is_finite() {
+        value
+    } else {
+        0.0
     }
 }
 
@@ -675,6 +737,47 @@ mod tests {
         install_metrics(Some(Arc::clone(&registry)));
         assert!(engine_obs().is_some(), "instruments bind to the registry");
         install_metrics(None);
+    }
+
+    #[test]
+    fn per_trial_of_a_zero_trial_report_is_zero_not_a_panic() {
+        // Regression: a sweep of zero trials (e.g. a filtered figure)
+        // used to divide by zero in the observability summary.
+        let report = RunnerReport {
+            label: "empty".to_string(),
+            trials: 0,
+            workers: 4,
+            elapsed: Duration::from_millis(17),
+        };
+        assert_eq!(report.per_trial(), Duration::ZERO);
+        // Oversized trial counts saturate instead of overflowing.
+        let huge = RunnerReport {
+            trials: u64::MAX,
+            ..report
+        };
+        assert!(huge.per_trial() <= Duration::from_millis(17));
+    }
+
+    #[test]
+    fn zero_trial_sweeps_run_and_report_without_panicking() {
+        let _ = take_reports();
+        let results = TrialRunner::new(9, 0).label("zero").run(|seed| seed);
+        assert!(results.is_empty());
+        let report = take_reports()
+            .into_iter()
+            .find(|r| r.label == "zero")
+            .expect("zero-trial sweep still reports");
+        assert_eq!(report.trials, 0);
+        assert_eq!(report.per_trial(), Duration::ZERO);
+    }
+
+    #[test]
+    fn heartbeat_fields_are_clamped_to_finite_values() {
+        assert_eq!(finite_or_zero(2.5), 2.5);
+        assert_eq!(finite_or_zero(0.0), 0.0);
+        assert_eq!(finite_or_zero(f64::INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NEG_INFINITY), 0.0);
+        assert_eq!(finite_or_zero(f64::NAN), 0.0);
     }
 
     #[test]

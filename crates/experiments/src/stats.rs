@@ -41,26 +41,45 @@ pub fn mean_std(values: &[f64]) -> Option<(f64, f64)> {
 }
 
 /// The `q`-th percentile (0.0 ..= 100.0) by linear interpolation between
-/// closest ranks; `None` for an empty slice.
+/// closest ranks; `None` for an empty slice **or a slice containing a
+/// NaN** — a percentile of unordered data is meaningless, and the old
+/// behaviour (panicking inside the sort comparator) aborted whole
+/// sweeps on one poisoned sample.
 ///
 /// Matches numpy's default (`linear`) interpolation: the rank of the
 /// percentile is `q/100 · (n-1)` and fractional ranks interpolate
-/// between the two neighbouring order statistics.
+/// between the two neighbouring order statistics. Infinities are
+/// ordered and supported; the result is never NaN.
 pub fn percentile(values: &[f64], q: f64) -> Option<f64> {
-    if values.is_empty() {
+    if values.is_empty() || values.iter().any(|v| v.is_nan()) {
         return None;
     }
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("percentile input is not NaN"));
+    sorted.sort_by(f64::total_cmp);
     let q = q.clamp(0.0, 100.0);
     let rank = q / 100.0 * (sorted.len() - 1) as f64;
     let lo = rank.floor() as usize;
     let hi = rank.ceil() as usize;
     let frac = rank - lo as f64;
-    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+    let (lo_v, hi_v) = (sorted[lo], sorted[hi]);
+    if frac == 0.0 || lo_v == hi_v {
+        return Some(lo_v);
+    }
+    // Two-product lerp so a single infinite endpoint dominates cleanly
+    // (`lo + (hi - lo) * frac` evaluates `-∞ + ∞` even one-sided).
+    let interp = lo_v * (1.0 - frac) + hi_v * frac;
+    if interp.is_nan() {
+        // Interpolating strictly between -∞ and +∞ has no meaningful
+        // midpoint; fall back to the nearest rank so the result stays
+        // one of the order statistics instead of NaN.
+        Some(if frac < 0.5 { lo_v } else { hi_v })
+    } else {
+        Some(interp)
+    }
 }
 
-/// The median (50th percentile); `None` for an empty slice.
+/// The median (50th percentile); `None` for an empty slice or one
+/// containing a NaN (see [`percentile`]).
 pub fn median(values: &[f64]) -> Option<f64> {
     percentile(values, 50.0)
 }
@@ -108,7 +127,8 @@ pub struct Summary {
     pub max: f64,
 }
 
-/// Summarises a series; `None` for an empty slice.
+/// Summarises a series; `None` for an empty slice or one containing a
+/// NaN (the order statistics propagate [`percentile`]'s refusal).
 pub fn summarize(values: &[f64]) -> Option<Summary> {
     let (mean, std_dev) = mean_std(values)?;
     let (min, max) = min_max(values)?;
@@ -221,6 +241,71 @@ mod tests {
         // scaled by sqrt(n / (n - 1)) = sqrt(8 / 7).
         let sample_sd = 2.0 * (8.0f64 / 7.0).sqrt();
         assert!((s.ci95 - 1.96 * sample_sd / 8f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_inputs_yield_none_instead_of_panicking() {
+        let poisoned = [1.0, f64::NAN, 3.0];
+        assert_eq!(percentile(&poisoned, 50.0), None);
+        assert_eq!(median(&poisoned), None);
+        assert_eq!(summarize(&poisoned), None);
+        assert_eq!(percentile(&[f64::NAN], 95.0), None);
+        // Infinities are ordered and stay supported.
+        assert_eq!(
+            percentile(&[f64::NEG_INFINITY, 0.0], 0.0),
+            Some(f64::NEG_INFINITY)
+        );
+    }
+
+    mod prop {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        /// Values including NaN, infinities and ordinary floats. The
+        /// finite arm is repeated so poisoned values stay a minority
+        /// and both branches of the NaN guard get exercised.
+        fn any_sample() -> impl Strategy<Value = f64> {
+            prop_oneof![
+                -1e9f64..1e9,
+                -1e9f64..1e9,
+                -1e9f64..1e9,
+                -1e9f64..1e9,
+                -1e9f64..1e9,
+                Just(f64::NAN),
+                Just(f64::INFINITY),
+                Just(f64::NEG_INFINITY),
+            ]
+        }
+
+        proptest! {
+            /// The order statistics never panic; they return `None`
+            /// exactly when the input is empty or NaN-poisoned.
+            #[test]
+            fn percentile_is_total(
+                values in proptest::collection::vec(any_sample(), 0..40),
+                q in -50.0f64..150.0,
+            ) {
+                let has_nan = values.iter().any(|v| v.is_nan());
+                let p = percentile(&values, q);
+                prop_assert_eq!(p.is_none(), values.is_empty() || has_nan);
+                if let Some(p) = p {
+                    prop_assert!(!p.is_nan());
+                }
+                prop_assert_eq!(median(&values).is_none(), values.is_empty() || has_nan);
+                prop_assert_eq!(summarize(&values).is_none(), values.is_empty() || has_nan);
+            }
+
+            /// On clean input the percentile is bracketed by the extremes.
+            #[test]
+            fn percentile_lies_within_min_max(
+                values in proptest::collection::vec(-1e9f64..1e9, 1..40),
+                q in 0.0f64..=100.0,
+            ) {
+                let (lo, hi) = min_max(&values).unwrap();
+                let p = percentile(&values, q).unwrap();
+                prop_assert!(p >= lo && p <= hi);
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,16 @@ impl ClockDomain {
         count
     }
 
+    /// Rebuilds a domain from previously captured `skew`/`slips`
+    /// values, for checkpoint restore.
+    ///
+    /// `skew` is taken verbatim — the caller is trusted to hand back a
+    /// value previously read via [`ClockDomain::skew`], which the
+    /// advance loop keeps inside `(-0.5, 0.5]`.
+    pub fn from_parts(skew: f64, slips: u64) -> Self {
+        Self { skew, slips }
+    }
+
     /// Current accumulated skew, as a fraction of `T_R` in `(-0.5, 0.5]`.
     pub fn skew(&self) -> f64 {
         self.skew

@@ -96,6 +96,21 @@ pub struct InjectionTally {
     pub skew_draws: u64,
 }
 
+/// A captured [`FaultInjector`] position: everything that varies as the
+/// injector runs, without the (immutable) fault model.
+///
+/// Restoring a snapshot onto an injector built from the *same* model
+/// continues the fault stream exactly where the snapshot was taken.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InjectorSnapshot {
+    /// Raw xoshiro256++ state of the fault stream.
+    pub rng_state: [u64; 4],
+    /// Cached Box–Muller spare of the skew sampler, if any.
+    pub gauss_spare: Option<f64>,
+    /// Injection-side fault ledger at capture time.
+    pub tally: InjectionTally,
+}
+
 /// A seeded source of fault decisions, owned by the simulation engine.
 ///
 /// All stochastic fault events — upsets, overflow drops, crash sampling,
@@ -237,6 +252,25 @@ impl FaultInjector {
     /// must share the deterministic stream (e.g. gossip forwarding).
     pub fn rng(&mut self) -> &mut StdRng {
         &mut self.rng
+    }
+
+    /// Captures the injector's mutable position (RNG state, Gaussian
+    /// spare, tally) for checkpointing.
+    pub fn snapshot(&self) -> InjectorSnapshot {
+        InjectorSnapshot {
+            rng_state: self.rng.state(),
+            gauss_spare: self.gauss.spare(),
+            tally: self.tally,
+        }
+    }
+
+    /// Overwrites the injector's mutable position with `snapshot`,
+    /// continuing the fault stream exactly where the snapshot was taken.
+    /// The fault model is left untouched.
+    pub fn restore(&mut self, snapshot: &InjectorSnapshot) {
+        self.rng = StdRng::from_state(snapshot.rng_state);
+        self.gauss = GaussianSampler::from_spare(snapshot.gauss_spare);
+        self.tally = snapshot.tally;
     }
 
     fn bernoulli(&mut self, p: f64) -> bool {

@@ -51,7 +51,7 @@ pub use adversary::{
     LinkChaos, PartitionCut, PartitionSchedule,
 };
 pub use error_vector::{bit_error_probability, vector_probability, ErrorModel};
-pub use injector::{CrashSchedule, FaultInjector, InjectionTally};
+pub use injector::{CrashSchedule, FaultInjector, InjectionTally, InjectorSnapshot};
 pub use model::{FaultModel, FaultModelBuilder, InvalidFaultModel, OverflowMode};
 pub use rng::GaussianSampler;
 pub use sweep::{linspace, FaultSweep};

@@ -44,6 +44,19 @@ impl GaussianSampler {
         mean + std_dev * self.sample_standard(rng)
     }
 
+    /// The cached Box–Muller spare, if the last pair draw left one.
+    ///
+    /// Checkpointing must capture this: losing a cached spare shifts
+    /// every later Gaussian draw by one uniform pair.
+    pub fn spare(&self) -> Option<f64> {
+        self.spare
+    }
+
+    /// Rebuilds a sampler around a previously captured spare.
+    pub fn from_spare(spare: Option<f64>) -> Self {
+        Self { spare }
+    }
+
     /// Draws one standard-normal sample.
     pub fn sample_standard<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
         if let Some(z) = self.spare.take() {

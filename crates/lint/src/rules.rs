@@ -53,8 +53,8 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         name: "hot-path-panic",
-        invariant: "per-round engine paths (engine.rs, send_buffer.rs, injector.rs) carry no \
-                    unwrap/expect/panic!",
+        invariant: "per-round engine paths (engine.rs, checkpoint.rs, send_buffer.rs, \
+                    injector.rs) carry no unwrap/expect/panic!",
     },
     RuleInfo {
         name: "stdout-in-lib",
@@ -94,6 +94,7 @@ const LIB_CRATES: &[&str] = &[
 
 /// Files forming the per-round hot path.
 const HOT_PATH_FILES: &[&str] = &[
+    "crates/core/src/checkpoint.rs",
     "crates/core/src/engine.rs",
     "crates/core/src/frontier.rs",
     "crates/core/src/send_buffer.rs",
@@ -466,6 +467,12 @@ mod tests {
             ["hot-path-panic", "hot-path-panic", "hot-path-panic"]
         );
         assert!(run("crates/core/src/metrics.rs", src).is_empty());
+        // The checkpoint codec sits on the resume path and is held to
+        // the same no-panic bar.
+        assert_eq!(
+            rules_of(&run("crates/core/src/checkpoint.rs", "let v = x.unwrap();")),
+            ["hot-path-panic"]
+        );
         // unwrap_or_else is a different identifier, never flagged.
         let soft = "let v = x.unwrap_or_else(Vec::new).unwrap_or(0);";
         assert!(run("crates/core/src/engine.rs", soft).is_empty());

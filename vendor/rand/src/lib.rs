@@ -197,6 +197,31 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state, for checkpointing.
+        ///
+        /// Feeding the words back through [`StdRng::from_state`]
+        /// reconstructs a generator that continues the stream exactly
+        /// where this one stands.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured state.
+        ///
+        /// The all-zero state is absorbing for xoshiro and can never be
+        /// produced by [`SeedableRng::seed_from_u64`] or by stepping, so
+        /// it is replaced with the seeding guard constant.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return StdRng {
+                    s: [0x9E37_79B9_7F4A_7C15, 0, 0, 0],
+                };
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             // xoshiro256++ by Blackman & Vigna (public domain reference).
