@@ -51,11 +51,14 @@ pub struct ComparisonRow {
 /// Random all-at-once traffic: every module sends one message to a
 /// distinct random peer.
 fn traffic(seed: u64) -> Vec<(usize, usize)> {
+    // noc-lint: allow(rng-draw-site, reason = "self-contained traffic-pattern generator from a TrialRunner-derived seed; engine-free energy figure")
     let mut rng = StdRng::seed_from_u64(seed);
     (0..MESSAGES)
         .map(|src| {
+            // noc-lint: allow(rng-draw-site, reason = "self-contained traffic-pattern generator from a TrialRunner-derived seed; engine-free energy figure")
             let mut dst = rng.gen_range(0..MESSAGES);
             while dst == src {
+                // noc-lint: allow(rng-draw-site, reason = "self-contained traffic-pattern generator from a TrialRunner-derived seed; engine-free energy figure")
                 dst = rng.gen_range(0..MESSAGES);
             }
             (src, dst)

@@ -70,6 +70,7 @@ impl ErrorModel {
                     let mut vector = vec![0u8; payload.len()];
                     for byte in vector.iter_mut() {
                         for bit in 0..8 {
+                            // noc-lint: allow(rng-draw-site, reason = "draws from the caller's RNG handed in by a sanctioned site; the scramble itself owns no stream")
                             if rng.gen_bool(p_b) {
                                 *byte |= 1 << bit;
                                 any = true;

@@ -1,11 +1,27 @@
-//! Workspace walking, test-code filtering, suppression, and rendering.
+//! Workspace walking, test-code filtering, the two-tier rule pipeline,
+//! suppression accounting, and rendering.
+//!
+//! The pipeline runs in phases over the whole scanned set:
+//!
+//! 1. lex + test-strip + annotation-parse + item-model every file;
+//! 2. lexical rules per file ([`crate::rules`]);
+//! 3. structural rules across the set ([`crate::structural`]);
+//! 4. suppression: allows cover matching findings, then every allow
+//!    that covered *nothing* becomes a `suppression-debt` finding
+//!    (itself coverable only by an `allow(suppression-debt, …)`);
+//! 5. the full suppression inventory — rule, file, line, reason, used —
+//!    is kept on the [`Report`] and shipped in the JSON artifact so CI
+//!    can trend the debt.
 
+use std::collections::BTreeMap;
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use crate::annotations;
+use crate::annotations::{self, Allow, BadAnnotation};
+use crate::items;
 use crate::lexer::{self, Token};
 use crate::rules::{self, Finding};
+use crate::structural::{self, SourceUnit};
 
 /// Directory names never descended into: generated output, third-party
 /// stand-ins, test code (exempt from the shipped-code invariants), and
@@ -14,12 +30,26 @@ const SKIP_DIRS: &[&str] = &[
     "target", "vendor", "tests", "benches", "corpus", ".git", ".github",
 ];
 
+/// One allow annotation in the inventory, with whether it earned its
+/// keep this run.
+#[derive(Debug, Clone)]
+pub struct Suppression {
+    pub rule: String,
+    pub file: String,
+    pub line: usize,
+    pub reason: String,
+    /// True when the allow covered at least one finding.
+    pub used: bool,
+}
+
 /// The outcome of linting a tree.
 #[derive(Debug, Default)]
 pub struct Report {
     /// Every finding, allowed and not, sorted by (file, line, column,
     /// rule) so output is deterministic for any traversal order.
     pub findings: Vec<Finding>,
+    /// Every allow annotation seen, sorted by (file, line, rule).
+    pub suppressions: Vec<Suppression>,
     /// Files scanned.
     pub files_scanned: usize,
 }
@@ -34,6 +64,11 @@ impl Report {
     pub fn allowed(&self) -> usize {
         self.findings.iter().filter(|f| f.allowed).count()
     }
+
+    /// Allows that covered nothing — the trending number for CI.
+    pub fn suppression_debt(&self) -> usize {
+        self.suppressions.iter().filter(|s| !s.used).count()
+    }
 }
 
 /// Lints every `.rs` file under `root`.
@@ -46,46 +81,170 @@ pub fn lint_root(root: &Path) -> Result<Report, String> {
     let mut files = Vec::new();
     collect_rust_files(root, &mut files).map_err(|e| format!("walking {}: {e}", root.display()))?;
     files.sort();
-    let mut report = Report::default();
+    let mut inputs = Vec::with_capacity(files.len());
     for file in &files {
         let source = fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
-        let rel = relative_path(root, file);
-        report.findings.extend(lint_source(&rel, &source));
-        report.files_scanned += 1;
+        inputs.push((relative_path(root, file), source));
     }
-    report.findings.sort_by(|a, b| {
-        (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
-    });
-    Ok(report)
+    Ok(lint_files(&inputs))
 }
 
 /// Lints one file's source text under its workspace-relative path.
-/// Exposed for the corpus harness and unit tests.
+/// Structural rules see a one-file set, so anchored cross-file rules
+/// fire only when the file itself carries the anchor items.
+/// Exposed for unit tests and callers with in-memory sources.
 pub fn lint_source(rel_path: &str, source: &str) -> Vec<Finding> {
-    let lexed = lexer::lex(source);
-    let filtered = strip_test_items(&lexed.tokens);
-    let (allows, bad) = annotations::parse(&lexed.comments);
-    let mut findings = rules::check_file(rel_path, &filtered, &lexed.tokens);
+    lint_files(&[(rel_path.to_string(), source.to_string())]).findings
+}
+
+/// Lints a set of (workspace-relative path, source) pairs as one
+/// workspace — the core entry point for the walker, the corpus
+/// harness, and mutation tests that inject drift into scratch copies.
+pub fn lint_files(inputs: &[(String, String)]) -> Report {
+    // Phase 1: per-file analysis inputs.
+    let mut units: Vec<SourceUnit> = Vec::with_capacity(inputs.len());
+    let mut all_tokens: Vec<Vec<Token>> = Vec::with_capacity(inputs.len());
+    let mut notes: Vec<(Vec<Allow>, Vec<BadAnnotation>)> = Vec::with_capacity(inputs.len());
+    for (rel_path, source) in inputs {
+        let lexed = lexer::lex(source);
+        let filtered = strip_test_items(&lexed.tokens);
+        notes.push(annotations::parse(&lexed.comments));
+        let items = items::extract(&filtered);
+        units.push(SourceUnit {
+            rel_path: rel_path.clone(),
+            tokens: filtered,
+            items,
+        });
+        all_tokens.push(lexed.tokens);
+    }
+
+    // Phase 2 + 3: lexical rules per file, structural rules per set.
+    let mut findings = Vec::new();
+    for (u, all) in units.iter().zip(&all_tokens) {
+        findings.extend(rules::check_file(&u.rel_path, &u.tokens, all));
+    }
+    findings.extend(structural::check_workspace(&units));
+
+    // Phase 4: suppression accounting.
+    let index: BTreeMap<&str, usize> = units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.rel_path.as_str(), i))
+        .collect();
+    let mut used: Vec<Vec<bool>> = notes.iter().map(|(a, _)| vec![false; a.len()]).collect();
     for f in &mut findings {
-        if let Some(allow) = allows.iter().find(|a| a.covers(f.rule, f.line)) {
+        let Some(&fi) = index.get(f.file.as_str()) else {
+            continue;
+        };
+        if let Some(ai) = notes[fi].0.iter().position(|a| a.covers(f.rule, f.line)) {
             f.allowed = true;
-            f.reason = Some(allow.reason.clone());
+            f.reason = Some(notes[fi].0[ai].reason.clone());
+            used[fi][ai] = true;
         }
     }
+    // Allows that covered nothing become findings; an adjacent
+    // allow(suppression-debt, …) can cover those (e.g. a platform-
+    // gated violation), but an unused allow(suppression-debt) is
+    // itself debt and cannot be suppressed further — no regress.
+    let mut debt: Vec<Finding> = Vec::new();
+    for (fi, (allows, _)) in notes.iter().enumerate() {
+        for (ai, a) in allows.iter().enumerate() {
+            if used[fi][ai] || a.rule == "suppression-debt" {
+                continue;
+            }
+            let known = rules::RULES.iter().any(|r| r.name == a.rule) || a.rule == "bad-annotation";
+            let message = if known {
+                format!(
+                    "allow({}) suppresses no finding; the code it guarded was fixed or \
+                     moved — delete the stale annotation or re-anchor it",
+                    a.rule
+                )
+            } else {
+                format!(
+                    "allow({}) names a rule the registry does not know; fix the rule name",
+                    a.rule
+                )
+            };
+            debt.push(Finding {
+                rule: "suppression-debt",
+                file: units[fi].rel_path.clone(),
+                line: a.line,
+                column: 1,
+                message,
+                allowed: false,
+                reason: None,
+            });
+        }
+    }
+    for f in &mut debt {
+        let fi = index[f.file.as_str()];
+        if let Some(ai) = notes[fi]
+            .0
+            .iter()
+            .position(|a| a.rule == "suppression-debt" && a.covers("suppression-debt", f.line))
+        {
+            f.allowed = true;
+            f.reason = Some(notes[fi].0[ai].reason.clone());
+            used[fi][ai] = true;
+        }
+    }
+    findings.append(&mut debt);
+    for (fi, (allows, _)) in notes.iter().enumerate() {
+        for (ai, a) in allows.iter().enumerate() {
+            if !used[fi][ai] && a.rule == "suppression-debt" {
+                findings.push(Finding {
+                    rule: "suppression-debt",
+                    file: units[fi].rel_path.clone(),
+                    line: a.line,
+                    column: 1,
+                    message: "allow(suppression-debt) suppresses no stale allow; delete it"
+                        .to_string(),
+                    allowed: false,
+                    reason: None,
+                });
+            }
+        }
+    }
+
     // Malformed annotations are findings themselves and cannot be
     // annotated away.
-    for b in bad {
-        findings.push(Finding {
-            rule: "bad-annotation",
-            file: rel_path.to_string(),
-            line: b.line,
-            column: 1,
-            message: b.message,
-            allowed: false,
-            reason: None,
-        });
+    for (fi, (_, bad)) in notes.iter().enumerate() {
+        for b in bad {
+            findings.push(Finding {
+                rule: "bad-annotation",
+                file: units[fi].rel_path.clone(),
+                line: b.line,
+                column: 1,
+                message: b.message.clone(),
+                allowed: false,
+                reason: None,
+            });
+        }
     }
-    findings
+
+    // Phase 5: the inventory.
+    let mut suppressions: Vec<Suppression> = Vec::new();
+    for (fi, (allows, _)) in notes.iter().enumerate() {
+        for (ai, a) in allows.iter().enumerate() {
+            suppressions.push(Suppression {
+                rule: a.rule.clone(),
+                file: units[fi].rel_path.clone(),
+                line: a.line,
+                reason: a.reason.clone(),
+                used: used[fi][ai],
+            });
+        }
+    }
+    suppressions.sort_by(|a, b| (&a.file, a.line, &a.rule).cmp(&(&b.file, b.line, &b.rule)));
+
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.column, a.rule).cmp(&(&b.file, b.line, b.column, b.rule))
+    });
+    Report {
+        findings,
+        suppressions,
+        files_scanned: inputs.len(),
+    }
 }
 
 fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -200,17 +359,21 @@ pub fn render_text(report: &Report) -> String {
         ));
     }
     out.push_str(&format!(
-        "noc-lint: {} files scanned, {} findings ({} allowed, {} unallowed)\n",
+        "noc-lint: {} files scanned, {} findings ({} allowed, {} unallowed), \
+         {} suppressions ({} stale)\n",
         report.files_scanned,
         report.findings.len(),
         report.allowed(),
         report.unallowed(),
+        report.suppressions.len(),
+        report.suppression_debt(),
     ));
     out
 }
 
-/// Renders the full report (allowed findings included, with reasons) as
-/// JSON with a stable field order — the CI artifact format.
+/// Renders the full report (allowed findings included, with reasons,
+/// plus the suppression inventory) as JSON with a stable field order —
+/// the CI artifact format.
 pub fn render_json(report: &Report) -> String {
     let mut out = String::from("{\n  \"findings\": [\n");
     for (i, f) in report.findings.iter().enumerate() {
@@ -231,11 +394,29 @@ pub fn render_json(report: &Report) -> String {
         }
         out.push('\n');
     }
+    out.push_str("  ],\n  \"suppressions\": [\n");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        out.push_str("    {");
+        out.push_str(&format!("\"rule\": {}, ", json_str(&s.rule)));
+        out.push_str(&format!("\"file\": {}, ", json_str(&s.file)));
+        out.push_str(&format!("\"line\": {}, ", s.line));
+        out.push_str(&format!("\"reason\": {}, ", json_str(&s.reason)));
+        out.push_str(&format!("\"used\": {}", s.used));
+        out.push('}');
+        if i + 1 < report.suppressions.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
     out.push_str("  ],\n");
     out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
     out.push_str(&format!("  \"total\": {},\n", report.findings.len()));
     out.push_str(&format!("  \"allowed\": {},\n", report.allowed()));
-    out.push_str(&format!("  \"unallowed\": {}\n", report.unallowed()));
+    out.push_str(&format!("  \"unallowed\": {},\n", report.unallowed()));
+    out.push_str(&format!(
+        "  \"suppression_debt\": {}\n",
+        report.suppression_debt()
+    ));
     out.push_str("}\n");
     out
 }
@@ -303,12 +484,65 @@ mod tests {
     }
 
     #[test]
-    fn allow_for_wrong_rule_does_not_suppress() {
+    fn allow_for_wrong_rule_does_not_suppress_and_is_debt() {
         let src =
             "fn f() { x.unwrap(); } // noc-lint: allow(ambient-rng, reason = \"wrong rule\")\n";
         let findings = lint_source("crates/core/src/engine.rs", src);
+        let rules: Vec<_> = findings.iter().map(|f| f.rule).collect();
+        // The violation stays unallowed AND the useless allow is debt
+        // (debt sorts first: same line, column 1).
+        assert_eq!(rules, ["suppression-debt", "hot-path-panic"]);
+        assert!(findings.iter().all(|f| !f.allowed));
+    }
+
+    #[test]
+    fn stale_allow_is_suppression_debt() {
+        let src = "// noc-lint: allow(hot-path-panic, reason = \"outlived the panic\")\nfn quiet() -> u64 { 7 }\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "suppression-debt");
+        assert!(!findings[0].allowed);
+        assert!(findings[0].message.contains("hot-path-panic"));
+    }
+
+    #[test]
+    fn misspelled_rule_name_is_called_out() {
+        let src = "// noc-lint: allow(hot-path-panics, reason = \"typo\")\nfn f() {}\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("registry does not know"));
+    }
+
+    #[test]
+    fn debt_finding_is_coverable_by_suppression_debt_allow() {
+        let src = "// noc-lint: allow(suppression-debt, reason = \"guards a windows-only panic compiled out here\")\n// noc-lint: allow(hot-path-panic, reason = \"windows-only path\")\nfn quiet() -> u64 { 7 }\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "suppression-debt");
+        assert!(findings[0].allowed, "{findings:?}");
+    }
+
+    #[test]
+    fn unused_suppression_debt_allow_is_itself_debt() {
+        let src = "// noc-lint: allow(suppression-debt, reason = \"nothing here\")\nfn f() {}\n";
+        let findings = lint_source("crates/core/src/engine.rs", src);
         assert_eq!(findings.len(), 1);
         assert!(!findings[0].allowed);
+        assert!(findings[0].message.contains("suppresses no stale allow"));
+    }
+
+    #[test]
+    fn suppression_inventory_reports_used_flags() {
+        let inputs = vec![(
+            "crates/core/src/engine.rs".to_string(),
+            "fn f() { x.unwrap(); } // noc-lint: allow(hot-path-panic, reason = \"boot\")\n// noc-lint: allow(map-iteration-order, reason = \"stale\")\nfn g() {}\n"
+                .to_string(),
+        )];
+        let report = lint_files(&inputs);
+        assert_eq!(report.suppressions.len(), 2);
+        assert!(report.suppressions[0].used);
+        assert!(!report.suppressions[1].used);
+        assert_eq!(report.suppression_debt(), 1);
     }
 
     #[test]
@@ -319,10 +553,13 @@ mod tests {
                 "fn f() { x.expect(\"why\"); }\n",
             ),
             files_scanned: 1,
+            ..Default::default()
         };
         let json = render_json(&report);
         assert!(json.contains("\"rule\": \"hot-path-panic\""));
         assert!(json.contains("\"unallowed\": 1"));
         assert!(json.contains("\"files_scanned\": 1"));
+        assert!(json.contains("\"suppressions\": ["));
+        assert!(json.contains("\"suppression_debt\": 0"));
     }
 }

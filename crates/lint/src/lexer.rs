@@ -120,6 +120,7 @@ impl<'a> Lexer<'a> {
     }
 
     fn run(mut self) -> Lexed {
+        self.skip_shebang();
         while let Some(c) = self.peek(0) {
             let (line, column) = (self.line, self.column);
             match c {
@@ -148,6 +149,21 @@ impl<'a> Lexer<'a> {
             }
         }
         self.out
+    }
+
+    /// Skips a `#!/usr/bin/env …` shebang on the first line. Only a real
+    /// shebang qualifies: `#![…]` at file start is an inner attribute
+    /// (`#![forbid(unsafe_code)]`) and must keep tokenizing normally —
+    /// the unsafe-audit rule reads it.
+    fn skip_shebang(&mut self) {
+        if self.peek(0) == Some('#') && self.peek(1) == Some('!') && self.peek(2) != Some('[') {
+            while let Some(c) = self.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                self.bump();
+            }
+        }
     }
 
     fn line_comment(&mut self, line: usize) {
@@ -465,6 +481,43 @@ mod tests {
         let toks = lex("ab\n  cd").tokens;
         assert_eq!((toks[0].line, toks[0].column), (1, 1));
         assert_eq!((toks[1].line, toks[1].column), (2, 3));
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        let src = "#!/usr/bin/env run-cargo-script\nfn main() {}\n";
+        assert_eq!(idents(src), ["fn", "main"]);
+        // The shebang leaves no punctuation soup behind.
+        let toks = lex(src).tokens;
+        assert!(toks.iter().all(|t| t.text != "#" && t.text != "!"));
+        assert_eq!(
+            toks[0].line, 2,
+            "tokens start on the line after the shebang"
+        );
+    }
+
+    #[test]
+    fn shebang_without_trailing_newline_consumes_to_eof() {
+        assert!(lex("#!/bin/sh").tokens.is_empty());
+    }
+
+    #[test]
+    fn inner_attribute_at_file_start_is_not_a_shebang() {
+        let src = "#![forbid(unsafe_code)]\npub mod engine;\n";
+        let toks = lex(src).tokens;
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            &texts[..7],
+            &["#", "!", "[", "forbid", "(", "unsafe_code", ")"],
+            "inner attributes must keep tokenizing for the unsafe-audit rule"
+        );
+    }
+
+    #[test]
+    fn shebang_only_applies_to_the_first_line() {
+        let src = "fn f() {}\n#!not_a_shebang\n";
+        let toks = lex(src).tokens;
+        assert!(toks.iter().any(|t| t.text == "not_a_shebang"));
     }
 
     #[test]

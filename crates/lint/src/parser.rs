@@ -1,0 +1,201 @@
+//! Token-tree parsing: brace/bracket/paren matching over the lexer's
+//! significant-token stream.
+//!
+//! The structural rules ([`crate::structural`]) need to know *where an
+//! item ends* — which `}` closes a struct body, which `)` closes a call
+//! — and flat token scans cannot answer that. This module groups the
+//! stream into trees: a [`Tree::Leaf`] is the index of one ordinary
+//! token, a [`Tree::Group`] is a delimited region with its children.
+//!
+//! The parser is total, like the lexer: a stray closer at top level
+//! becomes a leaf, and an unterminated group closes at end of input.
+//! For robustness against mid-edit code, *any* closer closes the
+//! innermost open group regardless of delimiter kind — the compiler
+//! owns syntax errors, the linter only needs sane recovery.
+
+use crate::lexer::Token;
+
+/// A delimiter kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+impl Delim {
+    fn of_open(text: &str) -> Option<Delim> {
+        match text {
+            "(" => Some(Delim::Paren),
+            "[" => Some(Delim::Bracket),
+            "{" => Some(Delim::Brace),
+            _ => None,
+        }
+    }
+}
+
+fn is_close(text: &str) -> bool {
+    matches!(text, ")" | "]" | "}")
+}
+
+/// One node of the token tree. Leaves and group bounds are indices into
+/// the token slice the tree was parsed from, so positions and text stay
+/// owned by the lexer output.
+#[derive(Debug)]
+pub enum Tree {
+    /// Index of a non-delimiter token.
+    Leaf(usize),
+    /// A delimited region.
+    Group(Group),
+}
+
+impl Tree {
+    /// Token index where this node starts.
+    pub fn start(&self) -> usize {
+        match self {
+            Tree::Leaf(i) => *i,
+            Tree::Group(g) => g.open,
+        }
+    }
+}
+
+/// A delimited region of the token stream.
+#[derive(Debug)]
+pub struct Group {
+    pub delim: Delim,
+    /// Token index of the opening delimiter.
+    pub open: usize,
+    /// Token index of the closing delimiter. For an unterminated group
+    /// this is the last token consumed (degenerate but in range).
+    pub close: usize,
+    pub children: Vec<Tree>,
+}
+
+/// Parses the whole token slice into a forest of sibling trees.
+pub fn parse(tokens: &[Token]) -> Vec<Tree> {
+    let mut pos = 0usize;
+    parse_siblings(tokens, &mut pos, false).0
+}
+
+fn parse_siblings(tokens: &[Token], pos: &mut usize, in_group: bool) -> (Vec<Tree>, Option<usize>) {
+    let mut out = Vec::new();
+    while *pos < tokens.len() {
+        let text = tokens[*pos].text.as_str();
+        if let Some(delim) = Delim::of_open(text) {
+            let open = *pos;
+            *pos += 1;
+            let (children, close) = parse_siblings(tokens, pos, true);
+            let close = close.unwrap_or_else(|| pos.saturating_sub(1).max(open));
+            out.push(Tree::Group(Group {
+                delim,
+                open,
+                close,
+                children,
+            }));
+        } else if is_close(text) {
+            if in_group {
+                let close = *pos;
+                *pos += 1;
+                return (out, Some(close));
+            }
+            // Stray closer at top level: keep it as a leaf.
+            out.push(Tree::Leaf(*pos));
+            *pos += 1;
+        } else {
+            out.push(Tree::Leaf(*pos));
+            *pos += 1;
+        }
+    }
+    (out, None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> (Vec<Token>, Vec<Tree>) {
+        let tokens = lex(src).tokens;
+        let trees = parse(&tokens);
+        (tokens, trees)
+    }
+
+    /// Renders a forest as a compact shape string for assertions.
+    fn shape(tokens: &[Token], trees: &[Tree]) -> String {
+        let mut out = String::new();
+        for tree in trees {
+            match tree {
+                Tree::Leaf(i) => {
+                    out.push_str(&tokens[*i].text);
+                    out.push(' ');
+                }
+                Tree::Group(g) => {
+                    let (open, close) = match g.delim {
+                        Delim::Paren => ('(', ')'),
+                        Delim::Bracket => ('[', ']'),
+                        Delim::Brace => ('{', '}'),
+                    };
+                    out.push(open);
+                    out.push_str(shape(tokens, &g.children).trim_end());
+                    out.push(close);
+                    out.push(' ');
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn nesting_matches_delimiters() {
+        let (tokens, trees) = parsed("fn f(a: [u8; 4]) { g(a); }");
+        assert_eq!(
+            shape(&tokens, &trees).trim_end(),
+            "fn f (a : [u8 ; 4]) {g (a) ;}"
+        );
+    }
+
+    #[test]
+    fn group_bounds_index_the_delimiter_tokens() {
+        let (tokens, trees) = parsed("call(x, y)");
+        let Tree::Group(g) = &trees[1] else {
+            panic!("expected a group");
+        };
+        assert_eq!(tokens[g.open].text, "(");
+        assert_eq!(tokens[g.close].text, ")");
+        assert_eq!(g.children.len(), 3);
+        assert_eq!(trees[1].start(), g.open);
+    }
+
+    #[test]
+    fn inner_attribute_soup_becomes_clean_groups() {
+        let (tokens, trees) = parsed("#![forbid(unsafe_code)]\nmod x;");
+        assert_eq!(
+            shape(&tokens, &trees).trim_end(),
+            "# ! [forbid (unsafe_code)] mod x ;"
+        );
+    }
+
+    #[test]
+    fn unterminated_group_closes_at_eof() {
+        let (tokens, trees) = parsed("fn f() { let x = (1;");
+        // The forest still covers every token without panicking.
+        let rendered = shape(&tokens, &trees);
+        assert!(rendered.contains("fn f"));
+        assert!(rendered.contains("(1 ;"));
+    }
+
+    #[test]
+    fn stray_closer_is_a_top_level_leaf() {
+        let (tokens, trees) = parsed("} fn f() {}");
+        assert_eq!(shape(&tokens, &trees).trim_end(), "} fn f () {}");
+    }
+
+    #[test]
+    fn mismatched_closer_still_closes_the_group() {
+        // Degenerate input: recovery closes the innermost group.
+        let (tokens, trees) = parsed("(a] b");
+        let rendered = shape(&tokens, &trees);
+        assert!(rendered.starts_with("(a)"), "{rendered}");
+        assert!(rendered.contains('b'));
+    }
+}

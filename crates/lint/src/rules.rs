@@ -65,6 +65,34 @@ pub const RULES: &[RuleInfo] = &[
         name: "unsafe-audit",
         invariant: "every crate root carries #![forbid(unsafe_code)] and no file uses unsafe",
     },
+    RuleInfo {
+        name: "checkpoint-coverage",
+        invariant: "every named field of the engine state structs (Simulation, SendBuffer, \
+                    ClockDomain, AdversarialScenario, FaultInjector) is referenced by \
+                    checkpoint serialization code — checkpoint.rs or a checkpoint()/\
+                    config_digest_value()/snapshot() body — or carries a reasoned allow \
+                    naming it derived state; otherwise a resumed run silently diverges",
+    },
+    RuleInfo {
+        name: "rng-draw-site",
+        invariant: "RNG draws (gen/gen_range/gen_bool/next_u64/seed_from_u64/…) happen only \
+                    in the sanctioned modules (seed.rs, engine.rs tape construction, \
+                    reference.rs oracle, injector.rs, rng.rs) and never inside a closure \
+                    passed to the shard fan-out — workers replay pre-drawn tapes",
+    },
+    RuleInfo {
+        name: "event-coverage",
+        invariant: "every SimEvent variant is matched by CounterSink (reconciling counters) \
+                    and JsonlSink (trace serialization); a variant added without both \
+                    consumers is an unaccounted decision point in the observability plane",
+    },
+    RuleInfo {
+        name: "suppression-debt",
+        invariant: "every noc-lint allow annotation suppresses at least one live finding; \
+                    stale allows (fixed code, drifted anchor line, misspelled rule name) \
+                    are findings themselves, and the full suppression inventory ships in \
+                    the JSON artifact so CI can trend the debt",
+    },
 ];
 
 /// Crates whose output feeds figure tables and golden reports. The

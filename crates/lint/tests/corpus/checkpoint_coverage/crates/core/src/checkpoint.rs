@@ -1,0 +1,14 @@
+// Corpus fixture: the serialized snapshot captures `round` only.
+
+/// Serialized state snapshot.
+pub struct Checkpoint {
+    /// Mirrors `Simulation::round`.
+    pub round: u64,
+}
+
+impl Checkpoint {
+    /// Captures the serializable state of a simulation.
+    pub fn capture(sim: &Simulation) -> Self {
+        Self { round: sim.round }
+    }
+}

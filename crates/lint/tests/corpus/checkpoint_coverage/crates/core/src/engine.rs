@@ -1,0 +1,25 @@
+// Corpus fixture: the tracked engine state struct with one field the
+// checkpoint misses (true positive) and one annotated derived cache.
+// Plain `//` comments throughout: corpus.rs `include!`s this pair into
+// a module to prove the fixture is real, compiling Rust.
+
+/// Mini stand-in for the engine's per-run state.
+pub struct Simulation {
+    /// Rounds executed so far; captured by checkpoint.rs.
+    pub round: u64,
+    /// Never serialized anywhere: the drift the rule must catch.
+    pub droppable_cache: Vec<u64>,
+    /// Derived cache rebuilt on restore; serializing it would only
+    /// duplicate the frontier.
+    // noc-lint: allow(checkpoint-coverage, reason = "derived from the frontier and rebuilt by restore_from; the checkpoint stays minimal")
+    pub frontier_cache: Vec<usize>,
+}
+
+impl Simulation {
+    /// Advances one round and caches nothing of consequence.
+    pub fn step(&mut self) {
+        self.round += 1;
+        self.droppable_cache.push(self.round);
+        self.frontier_cache.push(self.round as usize);
+    }
+}

@@ -1,0 +1,37 @@
+//! Corpus fixture: the event enum with a variant one consumer misses
+//! (true positive) and a diagnostic-only variant both consumers skip
+//! under a reasoned allow.
+
+pub enum SimEvent {
+    /// Reconciled and serialized by both sinks.
+    FrameSent { round: u64 },
+    /// JsonlSink serializes this; CounterSink forgot it.
+    Delivery { round: u64 },
+    /// Deliberately unreconciled probe.
+    // noc-lint: allow(event-coverage, reason = "diagnostic-only probe emitted by debug builds; counters and JSONL deliberately ignore it")
+    DebugProbe { round: u64 },
+}
+
+pub struct CounterSink {
+    frames: u64,
+}
+
+impl EventSink for CounterSink {
+    fn emit(&mut self, event: &SimEvent) {
+        if let SimEvent::FrameSent { .. } = event {
+            self.frames += 1;
+        }
+    }
+}
+
+pub struct JsonlSink;
+
+impl EventSink for JsonlSink {
+    fn emit(&mut self, event: &SimEvent) {
+        match event {
+            SimEvent::FrameSent { round } => drop(round),
+            SimEvent::Delivery { round } => drop(round),
+            _ => {}
+        }
+    }
+}

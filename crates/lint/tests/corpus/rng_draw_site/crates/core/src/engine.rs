@@ -1,0 +1,13 @@
+//! Corpus fixture: the engine may draw on the main thread, but a draw
+//! inside the shard fan-out closure breaks tape replay.
+
+/// Sanctioned: main-thread tape construction in an allowlisted file.
+pub fn build_tape(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}
+
+/// Unsanctioned: the worker closure draws instead of replaying.
+pub fn plan_and_fan_out(work: Vec<u64>, tape: Tape) -> Vec<u64> {
+    run_shards(work, move |frame| frame.wrapping_add(tape.next_u64()))
+}

@@ -1,0 +1,6 @@
+//! Corpus fixture: a self-contained generator with a reasoned allow.
+
+pub fn traffic_pattern(seed: u64) -> u64 {
+    // noc-lint: allow(rng-draw-site, reason = "self-contained traffic-pattern generator seeded by the caller; no engine or tape involved")
+    StdRng::seed_from_u64(seed).next_u64()
+}

@@ -1,0 +1,7 @@
+//! Corpus fixture: a stream constructed and drawn outside the
+//! sanctioned modules.
+
+pub fn ad_hoc_stream(seed: u64) -> u64 {
+    let mut rng = StdRng::seed_from_u64(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,9 @@
+//! Corpus fixture: acknowledged debt — a stale allow kept on purpose,
+//! covered by an adjacent suppression-debt allow.
+
+/// Parked while the refactor lands in the next change.
+pub fn parked() -> u64 {
+    // noc-lint: allow(suppression-debt, reason = "staged removal: the follow-up change reinstates the bounds check this allow covered")
+    // noc-lint: allow(hot-path-panic, reason = "bounds are pre-validated by the caller")
+    9
+}

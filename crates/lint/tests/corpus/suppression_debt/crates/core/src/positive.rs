@@ -1,0 +1,8 @@
+//! Corpus fixture: a stale allow — the annotation outlived the code it
+//! once suppressed.
+
+/// The unwrap this allow used to cover was refactored away.
+pub fn settled() -> u64 {
+    // noc-lint: allow(hot-path-panic, reason = "bounds are pre-validated by the caller")
+    7
+}

@@ -1,0 +1,199 @@
+//! Mutation checks: prove the structural rules detect real drift, not
+//! just their fixtures. Each test reads the *live* workspace sources,
+//! applies one representative mutation in memory (a field the
+//! checkpoint misses, a serialization line deleted, an event variant
+//! stub, a draw smuggled into a worker closure), and asserts the lint
+//! report turns red — alongside an unmutated control proving the green
+//! baseline is real.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use noc_lint::lint_files;
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root resolves")
+}
+
+/// Reads the given workspace-relative files into `lint_files` inputs.
+fn read_set(rel_paths: &[&str]) -> Vec<(String, String)> {
+    let root = workspace_root();
+    rel_paths
+        .iter()
+        .map(|rel| {
+            let source =
+                fs::read_to_string(root.join(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+            (rel.to_string(), source)
+        })
+        .collect()
+}
+
+/// The files the checkpoint-coverage rule consults: every tracked
+/// struct declaration plus every serialization corpus source
+/// (checkpoint.rs and the files hosting checkpoint()/snapshot()/
+/// config_digest_value() bodies).
+const CHECKPOINT_SET: &[&str] = &[
+    "crates/core/src/engine.rs",
+    "crates/core/src/checkpoint.rs",
+    "crates/core/src/send_buffer.rs",
+    "crates/core/src/trace.rs",
+    "crates/fabric/src/clock.rs",
+    "crates/faults/src/adversary.rs",
+    "crates/faults/src/injector.rs",
+];
+
+fn unallowed_of<'r>(report: &'r noc_lint::Report, rule: &str) -> Vec<&'r noc_lint::Finding> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.rule == rule && !f.allowed)
+        .collect()
+}
+
+fn assert_control_clean(inputs: &[(String, String)]) {
+    let control = lint_files(inputs);
+    assert_eq!(
+        control.unallowed(),
+        0,
+        "unmutated control set must lint clean, got {:?}",
+        control
+            .findings
+            .iter()
+            .filter(|f| !f.allowed)
+            .map(|f| (f.rule, f.file.as_str(), f.line))
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn workspace_dogfood_is_clean() {
+    let report = noc_lint::lint_root(&workspace_root()).expect("workspace lints");
+    assert_eq!(
+        report.unallowed(),
+        0,
+        "the workspace must dogfood clean: {:?}",
+        report
+            .findings
+            .iter()
+            .filter(|f| !f.allowed)
+            .map(|f| (f.rule, f.file.as_str(), f.line))
+            .collect::<Vec<_>>()
+    );
+    assert_eq!(
+        report.suppression_debt(),
+        0,
+        "no stale allows in the workspace"
+    );
+}
+
+#[test]
+fn adding_a_simulation_field_without_serialization_turns_red() {
+    let mut inputs = read_set(CHECKPOINT_SET);
+    assert_control_clean(&inputs);
+    let engine = &mut inputs[0].1;
+    let anchor = "pub struct Simulation<S: EventSink = NullSink> {";
+    assert!(engine.contains(anchor), "engine struct anchor moved");
+    *engine = engine.replacen(
+        anchor,
+        "pub struct Simulation<S: EventSink = NullSink> {\n    mutation_probe_field: u64,",
+        1,
+    );
+    let report = lint_files(&inputs);
+    let hits = unallowed_of(&report, "checkpoint-coverage");
+    assert_eq!(
+        hits.len(),
+        1,
+        "an unserialized new field must raise exactly one finding"
+    );
+    assert!(
+        hits[0].message.contains("`mutation_probe_field`"),
+        "finding names the drifted field: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn deleting_a_fields_serialization_turns_red() {
+    let mut inputs = read_set(CHECKPOINT_SET);
+    assert_control_clean(&inputs);
+    // Retire the ident `informed` from every serialization site while
+    // keeping the field declaration itself: the checkpoint no longer
+    // mentions the field, exactly the drift a careless refactor leaves.
+    for (rel, source) in inputs.iter_mut() {
+        if rel == "crates/core/src/checkpoint.rs" || rel == "crates/core/src/trace.rs" {
+            *source = source.replace("informed", "retired");
+        }
+        if rel == "crates/core/src/engine.rs" {
+            *source = source
+                .lines()
+                .map(|l| {
+                    if l.contains("informed: BTreeMap<MessageId, usize>") {
+                        l.to_string()
+                    } else {
+                        l.replace("informed", "retired")
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+        }
+    }
+    let report = lint_files(&inputs);
+    let hits = unallowed_of(&report, "checkpoint-coverage");
+    assert!(
+        hits.iter().any(|f| f.message.contains("`informed`")),
+        "dropping the checkpoint's `informed` serialization must raise a finding, got {:?}",
+        hits.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn adding_an_event_variant_without_consumers_turns_red() {
+    let mut inputs = read_set(&["crates/core/src/events.rs"]);
+    assert_control_clean(&inputs);
+    let events = &mut inputs[0].1;
+    let anchor = "pub enum SimEvent {";
+    assert!(events.contains(anchor), "event enum anchor moved");
+    *events = events.replacen(
+        anchor,
+        "pub enum SimEvent {\n    MutationProbe { round: u64 },",
+        1,
+    );
+    let report = lint_files(&inputs);
+    let hits = unallowed_of(&report, "event-coverage");
+    assert_eq!(
+        hits.len(),
+        2,
+        "a stub variant must be flagged once per mandatory consumer, got {:?}",
+        hits.iter().map(|f| &f.message).collect::<Vec<_>>()
+    );
+    for f in &hits {
+        assert!(f.message.contains("`SimEvent::MutationProbe`"));
+    }
+}
+
+#[test]
+fn drawing_inside_a_worker_closure_turns_red() {
+    let mut inputs = read_set(&["crates/core/src/engine.rs", "crates/core/src/checkpoint.rs"]);
+    // The engine alone is a sanctioned draw site, so the control is
+    // clean even though it draws on the main thread.
+    assert_control_clean(&inputs);
+    inputs[0].1.push_str(
+        "\npub fn mutation_probe_fan_out(work: Vec<u64>, tape: TapeCursor) -> Vec<u64> {\n    \
+         run_shards(work, move |frame| frame ^ tape.next_u64())\n}\n",
+    );
+    let report = lint_files(&inputs);
+    let hits = unallowed_of(&report, "rng-draw-site");
+    assert_eq!(
+        hits.len(),
+        1,
+        "a draw inside the fan-out closure must be flagged even in engine.rs"
+    );
+    assert!(
+        hits[0].message.contains("run_shards"),
+        "finding names the fan-out callee: {}",
+        hits[0].message
+    );
+}
